@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that editable installs work in offline environments whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable
+wheels (``pip install -e . --no-use-pep517`` falls back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Cross-segment control dependences.
+
+A region is control-independent when the identity of the next segment
+never depends on values computed inside the region:
+
+* A :class:`~repro.ir.region.LoopRegion` is a counted loop whose bounds
+  are evaluated once at region entry, so the sequence of segments
+  (iterations) is known up front -- no cross-segment control
+  dependences.  (The paper relies on the same architectural guarantee
+  for loop variables, Section 4.2.2.)
+* An :class:`~repro.ir.region.ExplicitRegion` has cross-segment control
+  dependences as soon as any segment can choose between successors
+  (including choosing between continuing and leaving the region),
+  because that choice is made from data computed by the segments.
+
+Control dependences matter for Lemma 7: only regions free of *both*
+data and control cross-segment dependences are fully independent.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import SegmentGraph
+from repro.ir.region import ExplicitRegion, LoopRegion, Region
+
+
+def has_cross_segment_control_dependence(region: Region) -> bool:
+    """True when the region's control flow between segments is data dependent."""
+    if isinstance(region, LoopRegion):
+        return False
+    if isinstance(region, ExplicitRegion):
+        graph = SegmentGraph.from_region(region)
+        return graph.has_multiple_successor_segments()
+    raise TypeError(f"unknown region type {type(region).__name__}")  # pragma: no cover

@@ -1,0 +1,49 @@
+"""Reference-by-reference data dependence analysis.
+
+The paper assumes (Section 4.2.1) that "a state-of-the-art compiler has
+analyzed ... the data dependences of every reference in each region",
+where dependences are *may*-dependences between references to the same
+variable.  This subpackage provides that substrate:
+
+* :mod:`repro.analysis.dependence.subscript` -- affine subscript
+  extraction relative to the region loop index, inner loop indices and
+  region-invariant symbols;
+* :mod:`repro.analysis.dependence.tests` -- classic ZIV / SIV / GCD /
+  Banerjee-style range tests that decide whether two references may
+  touch the same location in the same or in different segments, and in
+  which execution order;
+* :mod:`repro.analysis.dependence.graph` -- the dependence record and
+  the queryable dependence graph;
+* :mod:`repro.analysis.dependence.analyzer` -- the driver that builds
+  the graph for loop and explicit regions, with configurable
+  granularity (element-precise vs whole-variable) and direction mode
+  (execution order vs the paper's textual order).
+"""
+
+from repro.analysis.dependence.analyzer import (
+    DependenceAnalyzer,
+    DependenceGranularity,
+    DirectionMode,
+    analyze_dependences,
+)
+from repro.analysis.dependence.graph import Dependence, DependenceGraph
+from repro.analysis.dependence.subscript import AffineSubscript, extract_affine
+from repro.analysis.dependence.tests import (
+    AliasRelation,
+    RelationSet,
+    relation_of_reference_pair,
+)
+
+__all__ = [
+    "AffineSubscript",
+    "AliasRelation",
+    "Dependence",
+    "DependenceAnalyzer",
+    "DependenceGranularity",
+    "DependenceGraph",
+    "DirectionMode",
+    "RelationSet",
+    "analyze_dependences",
+    "extract_affine",
+    "relation_of_reference_pair",
+]

@@ -1,0 +1,302 @@
+"""Dependence analysis driver.
+
+Builds the :class:`~repro.analysis.dependence.graph.DependenceGraph` of
+one region, reference by reference.  Two knobs exist, both of which the
+paper's evaluation implicitly fixes:
+
+* :class:`DependenceGranularity` -- ``ELEMENT`` applies the subscript
+  tests of :mod:`repro.analysis.dependence.tests`; ``VARIABLE`` treats
+  every pair of references to the same variable as may-aliasing (the
+  whole-array behaviour of simpler prototypes).
+* :class:`DirectionMode` -- ``EXECUTION`` orients cross-segment
+  dependences by actual execution order (older segment is the source),
+  which is the sound interpretation of the paper's definitions;
+  ``TEXTUAL`` orients them by textual program order inside the segment
+  body, which reproduces the narrative of the paper's Figure 4 for the
+  count-down APPLU ``BUTS_DO1`` loop (see DESIGN.md for the discussion
+  of this deviation).
+
+Variables recognised as *private* carry no cross-segment dependences
+(each segment gets its own copy at run time), so their cross-segment
+pairs are suppressed; intra-segment dependences are kept.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.dependence.graph import (
+    Dependence,
+    DependenceGraph,
+    dependence_kind,
+)
+from repro.analysis.dependence.tests import (
+    ALL_RELATIONS,
+    AliasRelation,
+    RelationSet,
+    explicit_pair_may_alias,
+    relation_of_reference_pair,
+)
+from repro.analysis.readonly import read_only_variables
+from repro.ir.reference import MemoryReference
+from repro.ir.region import ExplicitRegion, LoopRegion, Region
+from repro.ir.types import AccessType, DependenceScope
+
+
+class DependenceGranularity(enum.Enum):
+    """Precision of the aliasing decision."""
+
+    ELEMENT = "element"
+    VARIABLE = "variable"
+
+
+class DirectionMode(enum.Enum):
+    """How cross-segment dependences are oriented."""
+
+    EXECUTION = "execution"
+    TEXTUAL = "textual"
+
+
+@dataclass
+class DependenceAnalyzer:
+    """Configurable reference-by-reference dependence analyser."""
+
+    granularity: DependenceGranularity = DependenceGranularity.ELEMENT
+    direction: DirectionMode = DirectionMode.EXECUTION
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        region: Region,
+        private_variables: Optional[Set[str]] = None,
+        read_only: Optional[Set[str]] = None,
+    ) -> DependenceGraph:
+        """Build the dependence graph of ``region``."""
+        private_variables = set(private_variables or ())
+        if read_only is None:
+            read_only = read_only_variables(region)
+        graph = DependenceGraph(region.name)
+        if isinstance(region, LoopRegion):
+            self._analyze_loop(region, graph, private_variables, read_only)
+        elif isinstance(region, ExplicitRegion):
+            self._analyze_explicit(region, graph, private_variables)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown region type {type(region).__name__}")
+        return graph
+
+    # ------------------------------------------------------------------
+    # loop regions
+    # ------------------------------------------------------------------
+    def _analyze_loop(
+        self,
+        region: LoopRegion,
+        graph: DependenceGraph,
+        private_variables: Set[str],
+        read_only: Set[str],
+    ) -> None:
+        by_var: Dict[str, List[MemoryReference]] = {}
+        for ref in region.references:
+            by_var.setdefault(ref.variable, []).append(ref)
+
+        for variable, refs in by_var.items():
+            writes = [r for r in refs if r.access is AccessType.WRITE]
+            if not writes:
+                continue  # read-only variables carry no dependences
+            refs_sorted = sorted(refs, key=lambda r: r.order)
+            for i, ref_a in enumerate(refs_sorted):
+                for ref_b in refs_sorted[i:]:
+                    if (
+                        ref_a.access is AccessType.READ
+                        and ref_b.access is AccessType.READ
+                    ):
+                        continue
+                    relations = self._loop_relations(ref_a, ref_b, region, read_only)
+                    if not relations:
+                        continue
+                    self._emit_loop_dependences(
+                        graph,
+                        ref_a,
+                        ref_b,
+                        relations,
+                        variable,
+                        private_variables,
+                    )
+
+    def _loop_relations(
+        self,
+        ref_a: MemoryReference,
+        ref_b: MemoryReference,
+        region: LoopRegion,
+        read_only: Set[str],
+    ) -> RelationSet:
+        if self.granularity is DependenceGranularity.VARIABLE:
+            return ALL_RELATIONS
+        return relation_of_reference_pair(ref_a, ref_b, region, read_only)
+
+    def _emit_loop_dependences(
+        self,
+        graph: DependenceGraph,
+        ref_a: MemoryReference,
+        ref_b: MemoryReference,
+        relations: RelationSet,
+        variable: str,
+        private_variables: Set[str],
+    ) -> None:
+        # Intra-segment dependence (same iteration): program order decides.
+        if AliasRelation.SAME in relations and ref_a is not ref_b:
+            source, sink = (
+                (ref_a, ref_b) if ref_a.order < ref_b.order else (ref_b, ref_a)
+            )
+            kind = dependence_kind(source, sink)
+            if kind is not None:
+                graph.add(
+                    Dependence(
+                        source=source,
+                        sink=sink,
+                        kind=kind,
+                        scope=DependenceScope.INTRA_SEGMENT,
+                        variable=variable,
+                        distance=0,
+                    )
+                )
+
+        # Cross-segment dependences.
+        if variable in private_variables:
+            return
+        carried = relations & {AliasRelation.BEFORE, AliasRelation.AFTER}
+        if not carried:
+            return
+        if self.direction is DirectionMode.TEXTUAL:
+            source, sink = (
+                (ref_a, ref_b) if ref_a.order <= ref_b.order else (ref_b, ref_a)
+            )
+            kind = dependence_kind(source, sink)
+            if kind is not None:
+                graph.add(
+                    Dependence(
+                        source=source,
+                        sink=sink,
+                        kind=kind,
+                        scope=DependenceScope.CROSS_SEGMENT,
+                        variable=variable,
+                    )
+                )
+            return
+        # Execution-order direction: BEFORE means ref_a's segment is older.
+        if AliasRelation.BEFORE in relations:
+            kind = dependence_kind(ref_a, ref_b)
+            if kind is not None:
+                graph.add(
+                    Dependence(
+                        source=ref_a,
+                        sink=ref_b,
+                        kind=kind,
+                        scope=DependenceScope.CROSS_SEGMENT,
+                        variable=variable,
+                    )
+                )
+        if AliasRelation.AFTER in relations and ref_a is not ref_b:
+            kind = dependence_kind(ref_b, ref_a)
+            if kind is not None:
+                graph.add(
+                    Dependence(
+                        source=ref_b,
+                        sink=ref_a,
+                        kind=kind,
+                        scope=DependenceScope.CROSS_SEGMENT,
+                        variable=variable,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # explicit regions
+    # ------------------------------------------------------------------
+    def _analyze_explicit(
+        self,
+        region: ExplicitRegion,
+        graph: DependenceGraph,
+        private_variables: Set[str],
+    ) -> None:
+        from repro.analysis.cfg import SegmentGraph
+
+        segment_graph = SegmentGraph.from_region(region)
+        reachable: Dict[str, Set[str]] = {
+            name: segment_graph.reachable_from(name)
+            for name in region.segment_names()
+        }
+        by_var: Dict[str, List[MemoryReference]] = {}
+        for ref in region.references:
+            by_var.setdefault(ref.variable, []).append(ref)
+
+        for variable, refs in by_var.items():
+            writes = [r for r in refs if r.access is AccessType.WRITE]
+            if not writes:
+                continue
+            for ref_a, ref_b in itertools.combinations(refs, 2):
+                if (
+                    ref_a.access is AccessType.READ
+                    and ref_b.access is AccessType.READ
+                ):
+                    continue
+                if self.granularity is DependenceGranularity.ELEMENT:
+                    if not explicit_pair_may_alias(ref_a, ref_b):
+                        continue
+                if ref_a.segment == ref_b.segment:
+                    source, sink = (
+                        (ref_a, ref_b) if ref_a.order < ref_b.order else (ref_b, ref_a)
+                    )
+                    kind = dependence_kind(source, sink)
+                    if kind is not None:
+                        graph.add(
+                            Dependence(
+                                source=source,
+                                sink=sink,
+                                kind=kind,
+                                scope=DependenceScope.INTRA_SEGMENT,
+                                variable=variable,
+                                distance=0,
+                            )
+                        )
+                else:
+                    if variable in private_variables:
+                        continue
+                    age_a = region.age_of(ref_a.segment)
+                    age_b = region.age_of(ref_b.segment)
+                    source, sink = (
+                        (ref_a, ref_b) if age_a < age_b else (ref_b, ref_a)
+                    )
+                    # Segments on mutually exclusive control-flow paths can
+                    # never both appear in a final execution, so no data
+                    # dependence connects them (the RFW analysis separately
+                    # accounts for stale values left by wrong-path writes).
+                    if sink.segment not in reachable.get(source.segment, set()):
+                        continue
+                    kind = dependence_kind(source, sink)
+                    if kind is not None:
+                        graph.add(
+                            Dependence(
+                                source=source,
+                                sink=sink,
+                                kind=kind,
+                                scope=DependenceScope.CROSS_SEGMENT,
+                                variable=variable,
+                                distance=abs(age_b - age_a),
+                            )
+                        )
+
+
+def analyze_dependences(
+    region: Region,
+    private_variables: Optional[Set[str]] = None,
+    read_only: Optional[Set[str]] = None,
+    granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
+    direction: DirectionMode = DirectionMode.EXECUTION,
+) -> DependenceGraph:
+    """Convenience wrapper around :class:`DependenceAnalyzer`."""
+    analyzer = DependenceAnalyzer(granularity=granularity, direction=direction)
+    return analyzer.analyze(
+        region, private_variables=private_variables, read_only=read_only
+    )

@@ -1,0 +1,68 @@
+"""Region live-out analysis.
+
+Definition 5 needs to know whether a variable is *live* at the end of
+the enclosing region: an incorrect value left in non-speculative storage
+only matters if somebody may still read it.  A region may declare its
+live-out set explicitly (``liveout`` in the DSL); otherwise it is
+computed conservatively from the code that follows the region in the
+program: a variable is live-out when some later read of it is not
+preceded by an unconditional scalar write (arrays are never considered
+killed, and any variable referenced in loop-bound expressions of later
+regions counts as read).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.program import Program
+from repro.ir.reference import MemoryReference
+from repro.ir.region import LoopRegion, Region
+from repro.ir.types import AccessType
+
+
+def _ordered_following_references(program: Program, region: Region) -> List[MemoryReference]:
+    """All references that execute after ``region``, in program order."""
+    refs: List[MemoryReference] = []
+    for later in program.regions_after(region.name):
+        refs.extend(sorted(later.references, key=lambda r: r.order))
+    refs.extend(sorted(program.finale_references, key=lambda r: r.order))
+    return refs
+
+
+def _bound_reads_of_following_regions(program: Program, region: Region) -> Set[str]:
+    """Variables read by the loop headers of later regions."""
+    out: Set[str] = set()
+    for later in program.regions_after(region.name):
+        if isinstance(later, LoopRegion):
+            out |= later.bound_variables
+    return out
+
+
+def region_live_out(program: Program, region: Region) -> Set[str]:
+    """The set of variables live at the exit of ``region``.
+
+    An explicit ``live_out`` declaration on the region wins; otherwise
+    the conservative forward scan described in the module docstring is
+    used.
+    """
+    if region.live_out is not None:
+        return set(region.live_out)
+
+    live: Set[str] = set(_bound_reads_of_following_regions(program, region))
+    killed: Set[str] = set()
+    for ref in _ordered_following_references(program, region):
+        if ref.access is AccessType.READ:
+            if ref.variable not in killed:
+                live.add(ref.variable)
+        else:
+            # Only an unconditional scalar write kills downstream liveness;
+            # array writes rarely cover the whole array, so they never kill.
+            if not ref.subscripts and not ref.conditional:
+                killed.add(ref.variable)
+    return live
+
+
+def live_out_map(program: Program) -> Dict[str, Set[str]]:
+    """Live-out sets of every region, keyed by region name."""
+    return {region.name: region_live_out(program, region) for region in program.regions}

@@ -1,0 +1,59 @@
+"""Segment-private variable recognition.
+
+A variable is *private* to the segments of a region (Section 4.1,
+"Private" category) when every segment that uses it writes its own value
+before reading it and the value is not needed after the region:
+
+* the variable is written somewhere in the region (purely read variables
+  are *read-only*, a different category);
+* no segment has an upward-exposed read of the variable (every read is
+  covered by an earlier unconditional write in the same segment, using
+  the coverage rules of :mod:`repro.analysis.access`);
+* the variable is not live at the region exit.
+
+Private variables carry no cross-segment data dependences, so the
+runtime can give each segment its own private storage (the per-segment
+private stacks the paper's evaluation describes) and all their
+references can be labeled idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.analysis.access import AccessSummary, summarize_region_segments
+from repro.analysis.readonly import read_only_variables, written_variables
+from repro.ir.region import Region
+from repro.ir.types import NodeMark
+
+
+def private_variables(
+    region: Region,
+    live_out: Set[str],
+    summaries: Optional[Dict[str, AccessSummary]] = None,
+) -> Set[str]:
+    """Variables private to the segments of ``region``.
+
+    ``live_out`` is the region's live-out set
+    (:func:`repro.analysis.liveness.region_live_out`); ``summaries`` may
+    be passed to reuse previously computed access summaries.
+    """
+    if summaries is None:
+        summaries = summarize_region_segments(
+            region, read_only_vars=read_only_variables(region)
+        )
+    written = written_variables(region)
+    candidates = written - set(live_out)
+    private: Set[str] = set()
+    for var in candidates:
+        exposed_anywhere = False
+        for summary in summaries.values():
+            info = summary.info(var)
+            if info is None:
+                continue
+            if info.has_exposed_read:
+                exposed_anywhere = True
+                break
+        if not exposed_anywhere:
+            private.add(var)
+    return private

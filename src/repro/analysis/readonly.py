@@ -1,0 +1,38 @@
+"""Read-only and written-variable classification.
+
+A variable is *read-only in a region* when the region contains at least
+one reference to it and no write reference.  Read-only references are
+never the sink of any data dependence, which is why Algorithm 2 labels
+them idempotent directly (they form the largest idempotency category in
+the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.region import Region
+from repro.ir.types import AccessType
+
+
+def written_variables(region: Region) -> Set[str]:
+    """Variables written by at least one reference in ``region``."""
+    return {
+        ref.variable for ref in region.references if ref.access is AccessType.WRITE
+    }
+
+
+def read_variables(region: Region) -> Set[str]:
+    """Variables read by at least one reference in ``region``."""
+    return {
+        ref.variable for ref in region.references if ref.access is AccessType.READ
+    }
+
+
+def read_only_variables(region: Region) -> Set[str]:
+    """Variables referenced in ``region`` that are never written there.
+
+    Variables read only in loop-bound expressions of the region header do
+    not count (they are evaluated once, outside any segment).
+    """
+    return read_variables(region) - written_variables(region)

@@ -1,0 +1,32 @@
+"""Reference idempotency analysis (the paper's primary contribution).
+
+* :mod:`repro.idempotency.rfw` -- Algorithm 1: re-occurring first write
+  (RFW) analysis over the segment control-flow graph (Definition 5).
+* :mod:`repro.idempotency.labeling` -- Algorithm 2: labeling of
+  idempotent references from the read-only / private / RFW /
+  dependence facts, implementing Theorems 1 and 2.
+* :mod:`repro.idempotency.report` -- per-region and per-program
+  reports: static and dynamic reference counts by idempotency category
+  (the quantities plotted in Figures 5-9).
+* :mod:`repro.idempotency.conditions` -- a dynamic checker for the
+  labeling conditions LC1-LC3 over execution traces (used by the test
+  suite to validate labelings end to end).
+"""
+
+from repro.idempotency.rfw import RFWResult, analyze_rfw
+from repro.idempotency.labeling import LabelingResult, label_region
+from repro.idempotency.report import (
+    CategoryCounts,
+    count_static_references,
+    count_dynamic_references,
+)
+
+__all__ = [
+    "CategoryCounts",
+    "LabelingResult",
+    "RFWResult",
+    "analyze_rfw",
+    "count_dynamic_references",
+    "count_static_references",
+    "label_region",
+]

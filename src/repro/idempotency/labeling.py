@@ -1,0 +1,252 @@
+"""Idempotency labeling -- Algorithm 2 (Theorems 1 and 2).
+
+Given a region, the labeling pipeline runs the prerequisite analyses
+(read-only variables, per-segment access summaries, liveness,
+privatization, reference-by-reference may-dependences, RFW analysis) and
+then assigns every memory reference a label:
+
+* ``SPECULATIVE`` -- tracked in speculative storage, exactly as in HOSE;
+* ``IDEMPOTENT``  -- bypasses speculative storage (Definition 4).
+
+The rules are those of Algorithm 2:
+
+1. If the region has no cross-segment data or control dependences it is
+   *fully independent* (Lemma 7) and every reference is idempotent.
+2. Otherwise:
+   * references to read-only variables are idempotent (Lemma 4),
+   * references to private variables are idempotent,
+   * a write is idempotent iff it is a re-occurring first write and not
+     the sink of a cross-segment dependence (Theorem 1),
+   * a read is idempotent iff it is not the sink of any dependence, or
+     every dependence it sinks is intra-segment with an
+     already-idempotent write as its source (Theorem 2, Lemma 6).
+
+Each idempotent reference also receives the reporting category of
+Section 4.1 (read-only / private / shared-dependent, or
+fully-independent when rule 1 fired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.access import AccessSummary, summarize_region_segments
+from repro.analysis.control_dependence import has_cross_segment_control_dependence
+from repro.analysis.dependence import (
+    DependenceGranularity,
+    DependenceGraph,
+    DirectionMode,
+    analyze_dependences,
+)
+from repro.analysis.liveness import region_live_out
+from repro.analysis.privatization import private_variables
+from repro.analysis.readonly import read_only_variables
+from repro.idempotency.rfw import RFWResult, analyze_rfw
+from repro.ir.program import Program
+from repro.ir.reference import MemoryReference
+from repro.ir.region import Region
+from repro.ir.types import AccessType, IdempotencyCategory, RefLabel
+
+
+@dataclass
+class LabelingResult:
+    """Labels, categories and all supporting analysis facts for one region."""
+
+    region: Region
+    labels: Dict[str, RefLabel]
+    categories: Dict[str, IdempotencyCategory]
+    fully_independent: bool
+    read_only_vars: Set[str]
+    private_vars: Set[str]
+    live_out: Set[str]
+    rfw: RFWResult
+    dependences: DependenceGraph
+    summaries: Dict[str, AccessSummary] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def label_of(self, ref: MemoryReference) -> RefLabel:
+        """Label of one reference (defaults to speculative)."""
+        return self.labels.get(ref.uid, RefLabel.SPECULATIVE)
+
+    def category_of(self, ref: MemoryReference) -> IdempotencyCategory:
+        """Reporting category of one reference."""
+        return self.categories.get(ref.uid, IdempotencyCategory.NOT_IDEMPOTENT)
+
+    def is_idempotent(self, ref: MemoryReference) -> bool:
+        return self.label_of(ref) is RefLabel.IDEMPOTENT
+
+    def idempotent_references(self) -> List[MemoryReference]:
+        return [r for r in self.region.references if self.is_idempotent(r)]
+
+    def speculative_references(self) -> List[MemoryReference]:
+        return [r for r in self.region.references if not self.is_idempotent(r)]
+
+    def static_fraction_idempotent(self) -> float:
+        """Fraction of textual references labeled idempotent."""
+        total = len(self.region.references)
+        if total == 0:
+            return 0.0
+        return len(self.idempotent_references()) / total
+
+    def counts_by_category(self) -> Dict[IdempotencyCategory, int]:
+        """Static reference counts per category (speculative included)."""
+        counts: Dict[IdempotencyCategory, int] = {}
+        for ref in self.region.references:
+            cat = self.category_of(ref)
+            counts[cat] = counts.get(cat, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"region {self.region.name}:",
+            f"  fully independent : {self.fully_independent}",
+            f"  read-only vars    : {sorted(self.read_only_vars)}",
+            f"  private vars      : {sorted(self.private_vars)}",
+            f"  live-out          : {sorted(self.live_out)}",
+            f"  cross-segment deps: {len(self.dependences.cross_segment_dependences())}",
+            f"  idempotent refs   : {len(self.idempotent_references())} / "
+            f"{len(self.region.references)}",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def label_region(
+    region: Region,
+    program: Optional[Program] = None,
+    live_out: Optional[Set[str]] = None,
+    granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
+    direction: DirectionMode = DirectionMode.EXECUTION,
+) -> LabelingResult:
+    """Run the full labeling pipeline (Algorithm 2) on one region.
+
+    ``live_out`` may be supplied directly; otherwise it is taken from the
+    region's declaration or computed from ``program`` context (and falls
+    back to "every written variable is live" when neither is available,
+    which is the conservative choice).
+    """
+    read_only = read_only_variables(region)
+    summaries = summarize_region_segments(region, read_only_vars=read_only)
+
+    if live_out is None:
+        if program is not None:
+            live_out = region_live_out(program, region)
+        elif region.live_out is not None:
+            live_out = set(region.live_out)
+        else:
+            live_out = {
+                ref.variable
+                for ref in region.references
+                if ref.access is AccessType.WRITE
+            }
+
+    private = private_variables(region, live_out, summaries)
+    dependences = analyze_dependences(
+        region,
+        private_variables=private,
+        read_only=read_only,
+        granularity=granularity,
+        direction=direction,
+    )
+    rfw = analyze_rfw(region, live_out, summaries=summaries, read_only=read_only)
+    control_dep = has_cross_segment_control_dependence(region)
+    fully_independent = (
+        not dependences.has_cross_segment_dependences() and not control_dep
+    )
+
+    labels: Dict[str, RefLabel] = {
+        ref.uid: RefLabel.SPECULATIVE for ref in region.references
+    }
+    categories: Dict[str, IdempotencyCategory] = {
+        ref.uid: IdempotencyCategory.NOT_IDEMPOTENT for ref in region.references
+    }
+
+    def mark_idempotent(ref: MemoryReference, category: IdempotencyCategory) -> None:
+        labels[ref.uid] = RefLabel.IDEMPOTENT
+        categories[ref.uid] = category
+
+    if fully_independent:
+        # Lemma 7: no roll-backs can occur, every reference is idempotent.
+        for ref in region.references:
+            if ref.variable in read_only:
+                mark_idempotent(ref, IdempotencyCategory.READ_ONLY)
+            elif ref.variable in private:
+                mark_idempotent(ref, IdempotencyCategory.PRIVATE)
+            else:
+                mark_idempotent(ref, IdempotencyCategory.FULLY_INDEPENDENT)
+        return LabelingResult(
+            region=region,
+            labels=labels,
+            categories=categories,
+            fully_independent=True,
+            read_only_vars=read_only,
+            private_vars=private,
+            live_out=set(live_out),
+            rfw=rfw,
+            dependences=dependences,
+            summaries=summaries,
+        )
+
+    # Dependent region: Algorithm 2, step 3.
+    for ref in region.references:
+        if ref.variable in read_only:
+            mark_idempotent(ref, IdempotencyCategory.READ_ONLY)
+        elif ref.variable in private:
+            mark_idempotent(ref, IdempotencyCategory.PRIVATE)
+
+    # Idempotent writes (Theorem 1): RFW and not a cross-segment sink.
+    for ref in region.references:
+        if ref.access is not AccessType.WRITE:
+            continue
+        if labels[ref.uid] is RefLabel.IDEMPOTENT:
+            continue
+        if rfw.is_rfw(ref) and not dependences.is_cross_segment_sink(ref):
+            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+
+    # Idempotent reads (Theorem 2): no dependences sink into the read, or
+    # everything sinking into it is intra-segment with an idempotent source.
+    for ref in region.references:
+        if ref.access is not AccessType.READ:
+            continue
+        if labels[ref.uid] is RefLabel.IDEMPOTENT:
+            continue
+        sink_deps = dependences.deps_with_sink(ref)
+        if not sink_deps:
+            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+            continue
+        if all(
+            not dep.is_cross_segment
+            and dep.source.access is AccessType.WRITE
+            and labels[dep.source.uid] is RefLabel.IDEMPOTENT
+            for dep in sink_deps
+        ):
+            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+
+    return LabelingResult(
+        region=region,
+        labels=labels,
+        categories=categories,
+        fully_independent=False,
+        read_only_vars=read_only,
+        private_vars=private,
+        live_out=set(live_out),
+        rfw=rfw,
+        dependences=dependences,
+        summaries=summaries,
+    )
+
+
+def label_program(
+    program: Program,
+    granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
+    direction: DirectionMode = DirectionMode.EXECUTION,
+) -> Dict[str, LabelingResult]:
+    """Label every region of ``program``; keyed by region name."""
+    return {
+        region.name: label_region(
+            region, program=program, granularity=granularity, direction=direction
+        )
+        for region in program.regions
+    }

@@ -1,0 +1,144 @@
+"""Idempotency reports.
+
+The paper's evaluation reports *fractions of memory references* that are
+idempotent, split by category (Figure 5 statically characterises whole
+benchmarks; Figures 6-9 characterise individual loops and additionally
+weight by dynamic execution counts).  This module aggregates labeling
+results into those fractions, both statically (textual references) and
+dynamically (weighted by per-reference execution counts collected by the
+sequential interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.idempotency.labeling import LabelingResult
+from repro.ir.types import AccessType, IdempotencyCategory, RefLabel
+
+
+@dataclass
+class CategoryCounts:
+    """Reference counts by idempotency category."""
+
+    counts: Dict[IdempotencyCategory, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, category: IdempotencyCategory, amount: float = 1.0) -> None:
+        self.counts[category] = self.counts.get(category, 0.0) + amount
+
+    def merge(self, other: "CategoryCounts") -> "CategoryCounts":
+        merged = CategoryCounts(dict(self.counts))
+        for category, amount in other.counts.items():
+            merged.add(category, amount)
+        return merged
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def count(self, category: IdempotencyCategory) -> float:
+        return self.counts.get(category, 0.0)
+
+    @property
+    def idempotent_total(self) -> float:
+        return self.total - self.count(IdempotencyCategory.NOT_IDEMPOTENT)
+
+    def fraction(self, category: IdempotencyCategory) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(category) / self.total
+
+    @property
+    def fraction_idempotent(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.idempotent_total / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Fractions keyed by category name plus the idempotent total."""
+        out = {
+            category.value: self.fraction(category)
+            for category in IdempotencyCategory
+            if self.count(category) > 0 or category is IdempotencyCategory.NOT_IDEMPOTENT
+        }
+        out["idempotent"] = self.fraction_idempotent
+        out["total_references"] = self.total
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{cat.value}={amount:g}" for cat, amount in sorted(
+                self.counts.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return f"<CategoryCounts {parts}>"
+
+
+# ----------------------------------------------------------------------
+def count_static_references(labeling: LabelingResult) -> CategoryCounts:
+    """Static (textual) reference counts by category for one region."""
+    counts = CategoryCounts()
+    for ref in labeling.region.references:
+        counts.add(labeling.category_of(ref))
+    return counts
+
+
+def count_dynamic_references(
+    labeling: LabelingResult,
+    execution_counts: Mapping[str, int],
+) -> CategoryCounts:
+    """Dynamic reference counts by category for one region.
+
+    ``execution_counts`` maps reference uids to the number of times the
+    reference executed (as collected by the sequential interpreter's
+    trace); references that never executed contribute nothing.
+    """
+    counts = CategoryCounts()
+    for ref in labeling.region.references:
+        executed = execution_counts.get(ref.uid, 0)
+        if executed:
+            counts.add(labeling.category_of(ref), float(executed))
+    return counts
+
+
+def merge_counts(per_region: Iterable[CategoryCounts]) -> CategoryCounts:
+    """Aggregate counts over several regions (e.g. a whole benchmark)."""
+    merged = CategoryCounts()
+    for counts in per_region:
+        merged = merged.merge(counts)
+    return merged
+
+
+def format_fraction_table(
+    rows: Mapping[str, CategoryCounts],
+    title: Optional[str] = None,
+) -> str:
+    """Render a table of idempotent-reference fractions.
+
+    ``rows`` maps a row label (benchmark or loop name) to its counts;
+    columns are the three categories of Figure 5 plus the idempotent
+    total.
+    """
+    header = (
+        f"{'name':<22} {'read-only':>10} {'private':>10} "
+        f"{'shared-dep':>11} {'fully-ind':>10} {'idempotent':>11} {'refs':>12}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, counts in rows.items():
+        lines.append(
+            f"{name:<22} "
+            f"{counts.fraction(IdempotencyCategory.READ_ONLY):>10.1%} "
+            f"{counts.fraction(IdempotencyCategory.PRIVATE):>10.1%} "
+            f"{counts.fraction(IdempotencyCategory.SHARED_DEPENDENT):>11.1%} "
+            f"{counts.fraction(IdempotencyCategory.FULLY_INDEPENDENT):>10.1%} "
+            f"{counts.fraction_idempotent:>11.1%} "
+            f"{counts.total:>12.0f}"
+        )
+    return "\n".join(lines)

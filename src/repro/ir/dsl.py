@@ -1,0 +1,642 @@
+"""Fortran-flavoured text front end.
+
+The evaluation workloads of the paper are Fortran loop nests; this
+module provides a small, line-oriented language in which those loop
+nests (and the explicit-segment worked examples) can be written as
+plain text and parsed into the IR.  Example::
+
+    program jacobi
+      integer n = 64
+      real a(64, 64), b(64, 64)
+
+      init
+        do j = 1, 64
+          do i = 1, 64
+            a(i, j) = i + 2 * j
+          end do
+        end do
+      end init
+
+      region SWEEP_DO10 speculative do j = 2, 63
+        do i = 2, 63
+          b(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+        end do
+        liveout b
+      end region
+
+      finale
+        checksum = b(2, 2) + b(63, 63)
+      end finale
+    end program
+
+Explicit-segment regions (used by the Figure 2 / Figure 3 examples)::
+
+      region R explicit
+        segment R0
+          a = b + 1
+        end segment
+        segment R1
+          c = a * 2
+        end segment
+        edges R0 -> R1
+        liveout c
+      end region
+
+Comments start with ``!`` or ``#`` and run to the end of the line.
+Declarations use ``real`` / ``integer`` (treated identically) and may
+carry initial values for scalars.  ``liveout`` lines inside a region
+list the variables that are live after the region.  A region may be
+marked ``speculative`` (force speculative execution) or ``parallel``
+(assert that the compiler may run it as a conventional parallel loop);
+without a marker the compiler's dependence analysis decides.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.expr import BinOp, Call, Const, Expr, Index, UnaryOp, Var, intrinsics
+from repro.ir.program import Program
+from repro.ir.region import ExplicitRegion, LoopRegion, Region
+from repro.ir.segment import Segment
+from repro.ir.stmt import Assign, Do, If, Statement
+from repro.ir.symbols import SymbolTable
+
+
+class DSLSyntaxError(Exception):
+    """Raised on any parse failure, carrying the offending line number."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        self.line_no = line_no
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
+# ----------------------------------------------------------------------
+# Expression tokenizer / parser
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*(?:[eEdD][-+]?\d+)?|\.\d+(?:[eEdD][-+]?\d+)?|\d+(?:[eEdD][-+]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|<=|>=|==|!=|->|[-+*/%(),<>=])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORD_OPS = {"and", "or", "not"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "name" | "op"
+    text: str
+
+
+def tokenize_expression(text: str, line_no: Optional[int] = None) -> List[_Token]:
+    """Tokenize one expression string."""
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DSLSyntaxError(f"unexpected character {text[pos]!r}", line_no)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value.lower() in _KEYWORD_OPS:
+            tokens.append(_Token("op", value.lower()))
+        else:
+            tokens.append(_Token(kind, value))
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent expression parser over a token list."""
+
+    def __init__(self, tokens: Sequence[_Token], line_no: Optional[int] = None):
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.line_no = line_no
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise DSLSyntaxError("unexpected end of expression", self.line_no)
+        self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.kind == "op" and tok.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        if not self.accept(text):
+            got = self.peek().text if self.peek() else "<end>"
+            raise DSLSyntaxError(f"expected {text!r}, got {got!r}", self.line_no)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if not self.at_end():
+            raise DSLSyntaxError(
+                f"trailing tokens after expression: {self.peek().text!r}", self.line_no
+            )
+        return expr
+
+    def parse_or(self) -> Expr:
+        expr = self.parse_and()
+        while self.accept("or"):
+            expr = BinOp("or", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expr:
+        expr = self.parse_not()
+        while self.accept("and"):
+            expr = BinOp("and", expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> Expr:
+        if self.accept("not"):
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        expr = self.parse_additive()
+        tok = self.peek()
+        if tok is not None and tok.kind == "op" and tok.text in (
+            "<",
+            "<=",
+            ">",
+            ">=",
+            "==",
+            "!=",
+        ):
+            self.pos += 1
+            expr = BinOp(tok.text, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while True:
+            if self.accept("+"):
+                expr = BinOp("+", expr, self.parse_multiplicative())
+            elif self.accept("-"):
+                expr = BinOp("-", expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_unary()
+        while True:
+            if self.accept("*"):
+                expr = BinOp("*", expr, self.parse_unary())
+            elif self.accept("/"):
+                expr = BinOp("/", expr, self.parse_unary())
+            elif self.accept("%"):
+                expr = BinOp("%", expr, self.parse_unary())
+            else:
+                return expr
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnaryOp("-", self.parse_unary())
+        if self.accept("+"):
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.accept("**"):
+            return BinOp("**", base, self.parse_unary())
+        return base
+
+    def parse_primary(self) -> Expr:
+        tok = self.advance()
+        if tok.kind == "number":
+            text = tok.text.lower().replace("d", "e")
+            if any(c in text for c in ".e"):
+                return Const(float(text))
+            return Const(int(text))
+        if tok.kind == "name":
+            name = tok.text
+            if self.accept("("):
+                args: List[Expr] = []
+                if not self.accept(")"):
+                    args.append(self.parse_or())
+                    while self.accept(","):
+                        args.append(self.parse_or())
+                    self.expect(")")
+                if name.lower() in intrinsics():
+                    return Call(name.lower(), args)
+                return Index(name, args)
+            return Var(name)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_or()
+            self.expect(")")
+            return expr
+        raise DSLSyntaxError(f"unexpected token {tok.text!r}", self.line_no)
+
+
+def parse_expression(text: str, line_no: Optional[int] = None) -> Expr:
+    """Parse one expression string into an :class:`Expr`."""
+    return _ExprParser(tokenize_expression(text, line_no), line_no).parse()
+
+
+# ----------------------------------------------------------------------
+# Line-oriented program parser
+# ----------------------------------------------------------------------
+@dataclass
+class _Line:
+    no: int
+    text: str
+
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<target>[A-Za-z_][A-Za-z_0-9]*)\s*(?:\((?P<subs>[^=]*)\))?\s*=\s*(?P<rhs>.+)$"
+)
+_DO_RE = re.compile(
+    r"^do\s+(?P<index>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*(?P<rest>.+)$", re.IGNORECASE
+)
+_IF_THEN_RE = re.compile(r"^if\s*\((?P<cond>.+)\)\s*then$", re.IGNORECASE)
+
+
+def _split_guarded_if(text: str, line_no: int) -> Tuple[str, str]:
+    """Split ``if (<cond>) <statement>`` into its condition and statement.
+
+    The condition may itself contain parentheses, so the closing paren is
+    found by balance counting rather than by a regular expression.
+    """
+    open_pos = text.find("(")
+    if open_pos < 0:
+        raise DSLSyntaxError(f"guarded IF without condition: {text!r}", line_no)
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                cond = text[open_pos + 1 : i]
+                stmt = text[i + 1 :].strip()
+                if not stmt:
+                    raise DSLSyntaxError(
+                        f"guarded IF without a statement: {text!r}", line_no
+                    )
+                return cond, stmt
+    raise DSLSyntaxError(f"unbalanced parentheses in IF: {text!r}", line_no)
+_REGION_LOOP_RE = re.compile(
+    r"^region\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*(?P<hint>speculative|parallel)?\s*"
+    r"do\s+(?P<index>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*(?P<rest>.+)$",
+    re.IGNORECASE,
+)
+_REGION_EXPLICIT_RE = re.compile(
+    r"^region\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*(?P<hint>speculative|parallel)?\s*explicit$",
+    re.IGNORECASE,
+)
+_DECL_RE = re.compile(
+    r"^(?:real|integer|double)\s+(?P<rest>.+)$", re.IGNORECASE
+)
+
+
+def _split_top_level_commas(text: str, line_no: int) -> List[str]:
+    """Split on commas that are not nested in parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise DSLSyntaxError("unbalanced parentheses", line_no)
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise DSLSyntaxError("unbalanced parentheses", line_no)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _ProgramParser:
+    """Parses the full line-oriented program grammar."""
+
+    def __init__(self, source: str):
+        self.lines: List[_Line] = []
+        for no, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("!", 1)[0].split("#", 1)[0].strip()
+            if text:
+                self.lines.append(_Line(no, text))
+        self.pos = 0
+
+    # -- line helpers --------------------------------------------------
+    def peek(self) -> Optional[_Line]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def advance(self) -> _Line:
+        line = self.peek()
+        if line is None:
+            raise DSLSyntaxError("unexpected end of input")
+        self.pos += 1
+        return line
+
+    def expect_keyword(self, keyword: str) -> _Line:
+        line = self.advance()
+        if line.text.lower() != keyword:
+            raise DSLSyntaxError(f"expected {keyword!r}, got {line.text!r}", line.no)
+        return line
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> Program:
+        line = self.advance()
+        match = re.match(r"^program\s+([A-Za-z_][A-Za-z_0-9]*)$", line.text, re.I)
+        if match is None:
+            raise DSLSyntaxError("expected 'program NAME'", line.no)
+        name = match.group(1)
+        symbols = SymbolTable()
+        init: List[Statement] = []
+        finale: List[Statement] = []
+        regions: List[Region] = []
+
+        while True:
+            line = self.peek()
+            if line is None:
+                raise DSLSyntaxError("missing 'end program'")
+            lower = line.text.lower()
+            if lower == "end program":
+                self.advance()
+                break
+            if _DECL_RE.match(line.text):
+                self.advance()
+                self._parse_declaration(line, symbols)
+            elif lower == "init":
+                self.advance()
+                init.extend(self._parse_statement_block({"end init"}))
+                self.expect_keyword("end init")
+            elif lower == "finale":
+                self.advance()
+                finale.extend(self._parse_statement_block({"end finale"}))
+                self.expect_keyword("end finale")
+            elif lower.startswith("region"):
+                regions.append(self._parse_region())
+            else:
+                raise DSLSyntaxError(
+                    f"unexpected line at program level: {line.text!r}", line.no
+                )
+        return Program(name, symbols=symbols, init=init, regions=regions, finale=finale)
+
+    # -- declarations ----------------------------------------------------
+    def _parse_declaration(self, line: _Line, symbols: SymbolTable) -> None:
+        rest = _DECL_RE.match(line.text).group("rest")
+        for item in _split_top_level_commas(rest, line.no):
+            match = re.match(
+                r"^([A-Za-z_][A-Za-z_0-9]*)\s*(?:\(([^)]*)\))?\s*(?:=\s*(.+))?$", item
+            )
+            if match is None:
+                raise DSLSyntaxError(f"bad declaration {item!r}", line.no)
+            name, dims, init_text = match.group(1), match.group(2), match.group(3)
+            if dims:
+                shape = []
+                for dim in dims.split(","):
+                    dim = dim.strip()
+                    if not dim.isdigit():
+                        raise DSLSyntaxError(
+                            f"array extents must be integer literals, got {dim!r}",
+                            line.no,
+                        )
+                    shape.append(int(dim))
+                initial = float(init_text) if init_text else 0.0
+                symbols.array(name, shape, initial=initial)
+            else:
+                initial = float(init_text) if init_text else 0.0
+                symbols.scalar(name, initial=initial)
+
+    # -- statements -------------------------------------------------------
+    def _parse_statement_block(self, terminators: set) -> List[Statement]:
+        statements: List[Statement] = []
+        while True:
+            line = self.peek()
+            if line is None:
+                raise DSLSyntaxError(
+                    f"missing one of {sorted(terminators)!r} before end of input"
+                )
+            if line.text.lower() in terminators:
+                return statements
+            statements.append(self._parse_statement())
+
+    def _parse_statement(self) -> Statement:
+        line = self.advance()
+        text = line.text
+        lower = text.lower()
+
+        match = _IF_THEN_RE.match(text)
+        if match is not None:
+            cond = parse_expression(match.group("cond"), line.no)
+            then_body = self._parse_statement_block({"else", "end if", "endif"})
+            else_body: List[Statement] = []
+            terminator = self.advance()
+            if terminator.text.lower() == "else":
+                else_body = self._parse_statement_block({"end if", "endif"})
+                self.advance()
+            return If(cond, then_body, else_body)
+
+        match = _DO_RE.match(text)
+        if match is not None:
+            index = match.group("index")
+            parts = _split_top_level_commas(match.group("rest"), line.no)
+            if len(parts) not in (2, 3):
+                raise DSLSyntaxError("DO needs 'lower, upper[, step]'", line.no)
+            lower_e = parse_expression(parts[0], line.no)
+            upper_e = parse_expression(parts[1], line.no)
+            step_e = parse_expression(parts[2], line.no) if len(parts) == 3 else Const(1)
+            body = self._parse_statement_block({"end do", "enddo"})
+            self.advance()
+            return Do(index, lower_e, upper_e, body, step=step_e)
+
+        if lower.startswith("if") and not lower.endswith("then"):
+            cond_text, stmt_text = _split_guarded_if(text, line.no)
+            cond = parse_expression(cond_text, line.no)
+            inner = self._parse_assignment(stmt_text, line.no)
+            inner.guard = cond
+            return inner
+
+        return self._parse_assignment(text, line.no)
+
+    def _parse_assignment(self, text: str, line_no: int) -> Assign:
+        match = _ASSIGN_RE.match(text)
+        if match is None:
+            raise DSLSyntaxError(f"cannot parse statement {text!r}", line_no)
+        target = match.group("target")
+        subs_text = match.group("subs")
+        rhs = parse_expression(match.group("rhs"), line_no)
+        subscripts: List[Expr] = []
+        if subs_text is not None:
+            for part in _split_top_level_commas(subs_text, line_no):
+                subscripts.append(parse_expression(part, line_no))
+        return Assign(target, rhs, subscripts=subscripts)
+
+    # -- regions -----------------------------------------------------------
+    def _parse_region(self) -> Region:
+        line = self.advance()
+        text = line.text
+
+        match = _REGION_LOOP_RE.match(text)
+        if match is not None:
+            name = match.group("name")
+            hint = match.group("hint")
+            index = match.group("index")
+            parts = _split_top_level_commas(match.group("rest"), line.no)
+            if len(parts) not in (2, 3):
+                raise DSLSyntaxError("region DO needs 'lower, upper[, step]'", line.no)
+            lower_e = parse_expression(parts[0], line.no)
+            upper_e = parse_expression(parts[1], line.no)
+            step_e = parse_expression(parts[2], line.no) if len(parts) == 3 else Const(1)
+            body, live_out = self._parse_region_body({"end region"})
+            self.expect_keyword("end region")
+            return LoopRegion(
+                name,
+                index,
+                lower_e,
+                upper_e,
+                body,
+                step=step_e,
+                live_out=live_out,
+                speculative=self._hint_value(hint),
+            )
+
+        match = _REGION_EXPLICIT_RE.match(text)
+        if match is not None:
+            return self._parse_explicit_region(
+                match.group("name"), self._hint_value(match.group("hint")), line.no
+            )
+
+        raise DSLSyntaxError(f"cannot parse region header {text!r}", line.no)
+
+    @staticmethod
+    def _hint_value(hint: Optional[str]) -> Optional[bool]:
+        if hint is None:
+            return None
+        return hint.lower() == "speculative"
+
+    def _parse_region_body(
+        self, terminators: set
+    ) -> Tuple[List[Statement], Optional[set]]:
+        body: List[Statement] = []
+        live_out: Optional[set] = None
+        while True:
+            line = self.peek()
+            if line is None:
+                raise DSLSyntaxError("missing 'end region'")
+            lower = line.text.lower()
+            if lower in terminators:
+                return body, live_out
+            if lower.startswith("liveout"):
+                self.advance()
+                names = line.text[len("liveout") :].strip()
+                live_out = {n.strip() for n in names.split(",") if n.strip()}
+                continue
+            body.append(self._parse_statement())
+
+    def _parse_explicit_region(
+        self, name: str, hint: Optional[bool], header_line: int
+    ) -> ExplicitRegion:
+        segments: List[Segment] = []
+        edges: Dict[str, List[str]] = {}
+        live_out: Optional[set] = None
+        while True:
+            line = self.peek()
+            if line is None:
+                raise DSLSyntaxError("missing 'end region'", header_line)
+            lower = line.text.lower()
+            if lower == "end region":
+                self.advance()
+                break
+            if lower.startswith("segment"):
+                self.advance()
+                match = re.match(
+                    r"^segment\s+([A-Za-z_][A-Za-z_0-9]*)$", line.text, re.I
+                )
+                if match is None:
+                    raise DSLSyntaxError(f"bad segment header {line.text!r}", line.no)
+                seg_name = match.group(1)
+                body: List[Statement] = []
+                branch: Optional[Expr] = None
+                while True:
+                    inner = self.peek()
+                    if inner is None:
+                        raise DSLSyntaxError("missing 'end segment'", line.no)
+                    inner_lower = inner.text.lower()
+                    if inner_lower == "end segment":
+                        self.advance()
+                        break
+                    if inner_lower.startswith("branch"):
+                        self.advance()
+                        expr_text = inner.text[len("branch") :].strip()
+                        if expr_text.startswith("(") and expr_text.endswith(")"):
+                            expr_text = expr_text[1:-1]
+                        branch = parse_expression(expr_text, inner.no)
+                        continue
+                    body.append(self._parse_statement())
+                segments.append(Segment(seg_name, body, branch=branch))
+                continue
+            if lower.startswith("edges"):
+                self.advance()
+                match = re.match(
+                    r"^edges\s+([A-Za-z_][A-Za-z_0-9]*)\s*->\s*(.+)$", line.text, re.I
+                )
+                if match is None:
+                    raise DSLSyntaxError(f"bad edges line {line.text!r}", line.no)
+                src = match.group(1)
+                dsts = [d.strip() for d in match.group(2).split(",") if d.strip()]
+                edges.setdefault(src, []).extend(dsts)
+                continue
+            if lower.startswith("liveout"):
+                self.advance()
+                names = line.text[len("liveout") :].strip()
+                live_out = {n.strip() for n in names.split(",") if n.strip()}
+                continue
+            raise DSLSyntaxError(
+                f"unexpected line inside explicit region: {line.text!r}", line.no
+            )
+        return ExplicitRegion(
+            name,
+            segments,
+            edges=edges if edges else None,
+            live_out=live_out,
+            speculative=hint,
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse DSL ``source`` text into a :class:`Program`."""
+    return _ProgramParser(source).parse_program()
+
+
+def parse_statements(source: str) -> List[Statement]:
+    """Parse a bare statement block (handy in tests)."""
+    parser = _ProgramParser(source)
+    statements: List[Statement] = []
+    while parser.peek() is not None:
+        statements.append(parser._parse_statement())
+    return statements

@@ -1,0 +1,120 @@
+"""Pretty printer.
+
+Renders programs, regions and statements in the same Fortran-flavoured
+surface syntax the DSL front end accepts (see :mod:`repro.ir.dsl`);
+useful for debugging workload generators and for documentation.  The
+printer aims for readability, not byte-exact round-tripping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.program import Program
+from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
+from repro.ir.stmt import Assign, Do, If, Statement
+
+_INDENT = "  "
+
+
+def _fmt_stmt(stmt: Statement, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Assign):
+        subs = (
+            "(" + ", ".join(str(s) for s in stmt.target_subscripts) + ")"
+            if stmt.target_subscripts
+            else ""
+        )
+        line = f"{pad}{stmt.target}{subs} = {stmt.rhs}"
+        if stmt.guard is not None:
+            line = f"{pad}if ({stmt.guard}) {stmt.target}{subs} = {stmt.rhs}"
+        return [line]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({stmt.cond}) then"]
+        for sub in stmt.then_body:
+            lines.extend(_fmt_stmt(sub, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for sub in stmt.else_body:
+                lines.extend(_fmt_stmt(sub, depth + 1))
+        lines.append(f"{pad}end if")
+        return lines
+    if isinstance(stmt, Do):
+        step = f", {stmt.step}" if str(stmt.step) != "1" else ""
+        lines = [f"{pad}do {stmt.index} = {stmt.lower}, {stmt.upper}{step}"]
+        for sub in stmt.body:
+            lines.extend(_fmt_stmt(sub, depth + 1))
+        lines.append(f"{pad}end do")
+        return lines
+    raise TypeError(f"cannot print statement {stmt!r}")  # pragma: no cover
+
+
+def format_statements(body: Sequence[Statement], depth: int = 0) -> str:
+    """Format a statement list."""
+    lines: List[str] = []
+    for stmt in body:
+        lines.extend(_fmt_stmt(stmt, depth))
+    return "\n".join(lines)
+
+
+def format_region(region: Region, depth: int = 0) -> str:
+    """Format one region."""
+    pad = _INDENT * depth
+    lines: List[str] = []
+    hint = ""
+    if region.speculative_hint is True:
+        hint = " speculative"
+    elif region.speculative_hint is False:
+        hint = " parallel"
+    if isinstance(region, LoopRegion):
+        step = f", {region.step}" if str(region.step) != "1" else ""
+        lines.append(
+            f"{pad}region {region.name}{hint} do {region.index} = "
+            f"{region.lower}, {region.upper}{step}"
+        )
+        lines.append(format_statements(region.body, depth + 1))
+        if region.live_out:
+            lines.append(f"{pad}{_INDENT}liveout {', '.join(sorted(region.live_out))}")
+        lines.append(f"{pad}end region")
+    elif isinstance(region, ExplicitRegion):
+        lines.append(f"{pad}region {region.name}{hint} explicit")
+        for seg in region.segments:
+            lines.append(f"{pad}{_INDENT}segment {seg.name}")
+            lines.append(format_statements(seg.body, depth + 2))
+            if seg.branch is not None:
+                lines.append(f"{pad}{_INDENT}{_INDENT}branch ({seg.branch})")
+            lines.append(f"{pad}{_INDENT}end segment")
+        for src, dsts in region.edges.items():
+            shown = [d for d in dsts if d != EXIT_NODE]
+            if shown:
+                lines.append(f"{pad}{_INDENT}edges {src} -> {', '.join(shown)}")
+        if region.live_out:
+            lines.append(f"{pad}{_INDENT}liveout {', '.join(sorted(region.live_out))}")
+        lines.append(f"{pad}end region")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot print region {region!r}")
+    return "\n".join(line for line in lines if line)
+
+
+def format_program(program: Program) -> str:
+    """Format a whole program in DSL-like surface syntax."""
+    lines: List[str] = [f"program {program.name}"]
+    for sym in program.symbols:
+        if sym.is_array:
+            dims = ", ".join(str(d) for d in sym.shape)
+            lines.append(f"{_INDENT}real {sym.name}({dims})")
+        else:
+            init = f" = {sym.initial}" if sym.initial else ""
+            lines.append(f"{_INDENT}real {sym.name}{init}")
+    if program.init:
+        lines.append(f"{_INDENT}init")
+        lines.append(format_statements(program.init, 2))
+        lines.append(f"{_INDENT}end init")
+    for region in program.regions:
+        lines.append(format_region(region, 1))
+    if program.finale:
+        lines.append(f"{_INDENT}finale")
+        lines.append(format_statements(program.finale, 2))
+        lines.append(f"{_INDENT}end finale")
+    lines.append("end program")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Segments (Definition 1).
+
+A segment is the paper's unit of speculative execution: it has a single
+entry, executes its statements sequentially, and may have multiple exits
+(successor segments).  Segments are used directly by *explicit* regions
+(Figure 2 / Figure 3 style); for *loop* regions the segments are the
+loop iterations and share a single body template.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.expr import Expr, ExprLike, as_expr
+from repro.ir.stmt import Statement
+
+
+class SegmentError(Exception):
+    """Raised for malformed segments."""
+
+
+class Segment:
+    """One speculative unit inside an explicit region.
+
+    Parameters
+    ----------
+    name:
+        Unique name inside the region (e.g. ``"R0"``).
+    body:
+        Statements executed sequentially by the segment.
+    branch:
+        Optional expression evaluated at the end of the segment when the
+        segment has more than one successor in the region graph: a
+        non-zero value selects the first successor, zero the second.
+        The value is computed from memory state, which makes the choice
+        *data dependent* and therefore a source of control dependences
+        (HOSE Property 5).
+    """
+
+    __slots__ = ("name", "body", "branch", "references", "_finalized")
+
+    def __init__(
+        self,
+        name: str,
+        body: Sequence[Statement] = (),
+        branch: Optional[ExprLike] = None,
+    ):
+        if not name:
+            raise SegmentError("segment needs a name")
+        self.name = name
+        self.body: List[Statement] = list(body)
+        for stmt in self.body:
+            if not isinstance(stmt, Statement):
+                raise SegmentError(f"segment {name!r} body contains {stmt!r}")
+        self.branch: Optional[Expr] = as_expr(branch) if branch is not None else None
+        #: All memory references of the segment, filled in by the region.
+        self.references = None
+        self._finalized = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Segment {self.name} ({len(self.body)} stmts)>"

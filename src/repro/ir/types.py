@@ -1,0 +1,128 @@
+"""Shared enumerations and small value types used throughout the IR.
+
+The names follow the paper's vocabulary:
+
+* an :class:`AccessType` distinguishes read from write references,
+* a :class:`RefLabel` is the hardware-visible label the compiler attaches
+  to a memory reference (Definition 4): ``SPECULATIVE`` references are
+  tracked in speculative storage, ``IDEMPOTENT`` references bypass it,
+* an :class:`IdempotencyCategory` is the reporting category of Section
+  4.1 (fully-independent / read-only / private / shared-dependent),
+* a :class:`DependenceKind` is the classical dependence kind (flow /
+  anti / output) and a :class:`DependenceScope` records whether the
+  dependence is intra-segment or crosses segments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessType(enum.Enum):
+    """Whether a memory reference reads or writes its location."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RefLabel(enum.Enum):
+    """Compiler label communicated to the hardware (Definition 4).
+
+    ``SPECULATIVE`` references behave exactly as in HOSE: values and
+    access information live in the speculative storage.  ``IDEMPOTENT``
+    references access non-speculative storage directly and leave no
+    access information behind.
+    """
+
+    SPECULATIVE = "speculative"
+    IDEMPOTENT = "idempotent"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class IdempotencyCategory(enum.Enum):
+    """Reporting category of an idempotent reference (Section 4.1)."""
+
+    FULLY_INDEPENDENT = "fully-independent"
+    READ_ONLY = "read-only"
+    PRIVATE = "private"
+    SHARED_DEPENDENT = "shared-dependent"
+    #: Used for references that remain speculative (not idempotent).
+    NOT_IDEMPOTENT = "speculative"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DependenceKind(enum.Enum):
+    """Classical data dependence kinds between two references."""
+
+    FLOW = "flow"      # write -> read  (true dependence)
+    ANTI = "anti"      # read  -> write
+    OUTPUT = "output"  # write -> write
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DependenceScope(enum.Enum):
+    """Whether a dependence stays inside one segment or crosses segments."""
+
+    INTRA_SEGMENT = "intra-segment"
+    CROSS_SEGMENT = "cross-segment"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class VarKind(enum.Enum):
+    """Kind of a program variable."""
+
+    SCALAR = "scalar"
+    ARRAY = "array"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RegionKind(enum.Enum):
+    """How a region's segments are described."""
+
+    #: The region is a counted loop; segments are its iterations.
+    LOOP = "loop"
+    #: The region is an explicit segment graph (Figure 2 / Figure 3 style).
+    EXPLICIT = "explicit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class NodeMark(enum.Enum):
+    """Per-variable node marking used by Algorithm 1 (RFW analysis).
+
+    A node (segment) is marked ``WRITE`` for variable *x* when *x* is
+    defined on all paths through the segment without an exposed read,
+    ``READ`` when the segment has an exposed read of *x*, and ``NULL``
+    when the segment does not reference *x* at all.
+    """
+
+    WRITE = "Write"
+    READ = "Read"
+    NULL = "Null"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class NodeColor(enum.Enum):
+    """Per-variable node colour used by Algorithm 1 (RFW analysis)."""
+
+    WHITE = "White"
+    BLACK = "Black"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

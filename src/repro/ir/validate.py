@@ -1,0 +1,167 @@
+"""Structural validation of programs.
+
+The validator catches the mistakes that otherwise surface as confusing
+failures deep inside analyses or the execution engines:
+
+* references to undeclared variables,
+* subscript-count mismatches against the declared array rank,
+* scalars used with subscripts / arrays used without,
+* malformed segment graphs (unreachable segments, missing branch
+  expressions on multi-successor segments, edges to unknown segments),
+* empty regions.
+
+Validation returns a list of :class:`ValidationIssue`; callers decide
+whether warnings are fatal.  :func:`validate_program` with
+``strict=True`` raises on any *error*-severity issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.program import Program
+from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
+from repro.ir.reference import MemoryReference
+
+
+class ValidationError(Exception):
+    """Raised by :func:`validate_program` in strict mode."""
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding of the validator."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+def _check_reference(
+    program: Program, ref: MemoryReference, issues: List[ValidationIssue]
+) -> None:
+    symbol = program.symbols.get(ref.variable)
+    location = ref.uid
+    if symbol is None:
+        issues.append(
+            ValidationIssue(
+                "error", location, f"undeclared variable {ref.variable!r}"
+            )
+        )
+        return
+    if symbol.is_array and not ref.subscripts:
+        issues.append(
+            ValidationIssue(
+                "error",
+                location,
+                f"array {ref.variable!r} referenced without subscripts",
+            )
+        )
+    if not symbol.is_array and ref.subscripts:
+        issues.append(
+            ValidationIssue(
+                "error",
+                location,
+                f"scalar {ref.variable!r} referenced with subscripts",
+            )
+        )
+    if symbol.is_array and ref.subscripts and len(ref.subscripts) != symbol.rank:
+        issues.append(
+            ValidationIssue(
+                "error",
+                location,
+                f"{ref.variable!r} has rank {symbol.rank} but "
+                f"{len(ref.subscripts)} subscripts were given",
+            )
+        )
+
+
+def _check_explicit_region(
+    region: ExplicitRegion, issues: List[ValidationIssue]
+) -> None:
+    names = set(region.segment_names())
+    # Reachability from the entry.
+    reachable = set()
+    stack = [region.entry]
+    while stack:
+        node = stack.pop()
+        if node in reachable or node == EXIT_NODE:
+            continue
+        reachable.add(node)
+        stack.extend(region.edges.get(node, []))
+    unreachable = names - reachable
+    for seg in sorted(unreachable):
+        issues.append(
+            ValidationIssue(
+                "warning",
+                f"{region.name}.{seg}",
+                "segment is unreachable from the region entry",
+            )
+        )
+    # Multi-successor segments should carry a branch expression.
+    for seg in region.segments:
+        succs = region.edges.get(seg.name, [])
+        if len(succs) > 1 and seg.branch is None:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"{region.name}.{seg.name}",
+                    f"{len(succs)} successors but no branch expression; "
+                    "the first successor will always be taken",
+                )
+            )
+        if len(succs) > 2 and seg.branch is not None:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"{region.name}.{seg.name}",
+                    "branch expressions select between at most two successors",
+                )
+            )
+
+
+def _check_loop_region(region: LoopRegion, issues: List[ValidationIssue]) -> None:
+    trip = region.constant_trip_count()
+    if trip == 0:
+        issues.append(
+            ValidationIssue(
+                "warning", region.name, "loop region has a constant zero trip count"
+            )
+        )
+
+
+def validate_region(program: Program, region: Region) -> List[ValidationIssue]:
+    """Validate one region inside ``program``."""
+    issues: List[ValidationIssue] = []
+    for ref in region.references:
+        _check_reference(program, ref, issues)
+    if isinstance(region, ExplicitRegion):
+        _check_explicit_region(region, issues)
+    elif isinstance(region, LoopRegion):
+        _check_loop_region(region, issues)
+    return issues
+
+
+def validate_program(program: Program, strict: bool = False) -> List[ValidationIssue]:
+    """Validate the whole program.
+
+    With ``strict=True`` raise :class:`ValidationError` listing all
+    error-severity findings (warnings never raise).
+    """
+    issues: List[ValidationIssue] = []
+    for ref in program.init_references + program.finale_references:
+        _check_reference(program, ref, issues)
+    for region in program.regions:
+        issues.extend(validate_region(program, region))
+    if strict:
+        errors = [i for i in issues if i.severity == "error"]
+        if errors:
+            detail = "\n".join(str(e) for e in errors)
+            raise ValidationError(
+                f"program {program.name!r} failed validation:\n{detail}"
+            )
+    return issues

@@ -1,0 +1,36 @@
+"""Execution substrates.
+
+* :mod:`repro.runtime.memory` -- the non-speculative storage: a flat
+  value store plus a two-level cache latency model (the "conventional
+  memory hierarchy" of the paper).
+* :mod:`repro.runtime.executor` -- a generator-based micro-interpreter
+  that turns a segment body into a stream of compute / read / write
+  operations tagged with their static memory references.
+* :mod:`repro.runtime.interpreter` -- the sequential reference
+  interpreter (ground truth for all correctness checks, and the source
+  of dynamic reference counts).
+* :mod:`repro.runtime.specstore` -- per-segment speculative storage with
+  capacity accounting, read/write sets and dependence-violation checks.
+* :mod:`repro.runtime.engine` -- the speculative execution engine
+  implementing both HOSE (Definition 2) and CASE (Definition 4): CASE is
+  HOSE plus idempotent-reference bypass and per-segment private frames.
+"""
+
+from repro.runtime.errors import SimulationError
+from repro.runtime.memory import MemoryHierarchy, MemoryImage
+from repro.runtime.interpreter import SequentialInterpreter, SequentialResult
+from repro.runtime.specstore import SpeculativeStore
+from repro.runtime.engine import SpeculativeEngine, RegionExecutionResult
+from repro.runtime.stats import ExecutionStats
+
+__all__ = [
+    "ExecutionStats",
+    "MemoryHierarchy",
+    "MemoryImage",
+    "RegionExecutionResult",
+    "SequentialInterpreter",
+    "SequentialResult",
+    "SimulationError",
+    "SpeculativeEngine",
+    "SpeculativeStore",
+]

@@ -1,0 +1,12 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Raised when program execution fails (out-of-bounds subscripts,
+    undeclared variables, runaway speculative execution, ...)."""
+
+
+class AddressError(SimulationError):
+    """Raised for invalid memory addresses (bad subscripts, unknown symbols)."""

@@ -1,0 +1,216 @@
+"""Non-speculative storage: value store and cache latency model.
+
+The paper's non-speculative storage is "the conventional memory
+hierarchy".  We model it as
+
+* a :class:`MemoryImage` -- the architectural values, addressed by
+  ``(variable name, flattened element offset)``;
+* a :class:`CacheLevel` / :class:`MemoryHierarchy` latency model -- a
+  small per-processor L1, a shared L2, and main memory, with LRU
+  replacement at cache-block granularity.  Only latencies are modelled;
+  the values always come from the single shared :class:`MemoryImage`
+  (the engines take care of *when* a value becomes architecturally
+  visible).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.ir.symbols import Symbol, SymbolError, SymbolTable
+from repro.runtime.errors import AddressError
+
+#: A memory address: (variable name, flattened 0-based element offset).
+Address = Tuple[str, int]
+
+
+class MemoryImage:
+    """Architectural values of all program variables."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self._values: Dict[Address, float] = {}
+
+    # ------------------------------------------------------------------
+    def address_of(self, variable: str, subscripts: Sequence[int] = ()) -> Address:
+        """Translate a variable + subscripts into an :data:`Address`."""
+        symbol = self.symbols.get(variable)
+        if symbol is None:
+            raise AddressError(f"undeclared variable {variable!r}")
+        try:
+            offset = symbol.flatten_index(tuple(int(s) for s in subscripts))
+        except SymbolError as exc:
+            raise AddressError(str(exc)) from exc
+        return (variable, offset)
+
+    def initial_value(self, variable: str) -> float:
+        symbol = self.symbols.get(variable)
+        if symbol is None:
+            raise AddressError(f"undeclared variable {variable!r}")
+        return float(symbol.initial)
+
+    # ------------------------------------------------------------------
+    def load(self, address: Address) -> float:
+        """Read a value (defaults to the symbol's initial value)."""
+        if address in self._values:
+            return self._values[address]
+        return self.initial_value(address[0])
+
+    def store(self, address: Address, value: float) -> None:
+        """Write a value."""
+        self._values[address] = float(value)
+
+    def read(self, variable: str, subscripts: Sequence[int] = ()) -> float:
+        """Read by name and subscripts."""
+        return self.load(self.address_of(variable, subscripts))
+
+    def write(self, variable: str, value: float, subscripts: Sequence[int] = ()) -> None:
+        """Write by name and subscripts."""
+        self.store(self.address_of(variable, subscripts), value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[Address, float]:
+        """Copy of all explicitly stored values."""
+        return dict(self._values)
+
+    def copy(self) -> "MemoryImage":
+        """Deep copy (symbols shared; they are immutable)."""
+        clone = MemoryImage(self.symbols)
+        clone._values = dict(self._values)
+        return clone
+
+    def live_values(
+        self, variables: Optional[Iterable[str]] = None
+    ) -> Dict[Address, float]:
+        """Stored values restricted to ``variables`` (all when ``None``)."""
+        if variables is None:
+            return self.snapshot()
+        wanted = set(variables)
+        return {
+            addr: value for addr, value in self._values.items() if addr[0] in wanted
+        }
+
+    def differences(
+        self, other: "MemoryImage", variables: Optional[Iterable[str]] = None
+    ) -> Dict[Address, Tuple[float, float]]:
+        """Addresses whose values differ between ``self`` and ``other``."""
+        wanted = set(variables) if variables is not None else None
+        addresses = set(self._values) | set(other._values)
+        diffs: Dict[Address, Tuple[float, float]] = {}
+        for addr in addresses:
+            if wanted is not None and addr[0] not in wanted:
+                continue
+            a, b = self.load(addr), other.load(addr)
+            if a != b and not (_both_nan(a, b)) and abs(a - b) > 1e-9 * max(
+                1.0, abs(a), abs(b)
+            ):
+                diffs[addr] = (a, b)
+        return diffs
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def _both_nan(a: float, b: float) -> bool:
+    return a != a and b != b
+
+
+# ----------------------------------------------------------------------
+# Latency model
+# ----------------------------------------------------------------------
+@dataclass
+class CacheLevel:
+    """One cache level with LRU replacement at block granularity."""
+
+    name: str
+    capacity_blocks: int
+    hit_latency: int
+    _blocks: "OrderedDict[Tuple[str, int], None]" = field(default_factory=OrderedDict)
+
+    def lookup(self, block: Tuple[str, int]) -> bool:
+        """True on hit; updates recency and inserts on miss."""
+        hit = block in self._blocks
+        if hit:
+            self._blocks.move_to_end(block)
+        else:
+            self._blocks[block] = None
+            while len(self._blocks) > self.capacity_blocks:
+                self._blocks.popitem(last=False)
+        return hit
+
+    def reset(self) -> None:
+        self._blocks.clear()
+
+
+@dataclass
+class MemoryLatencies:
+    """Latency parameters of the non-speculative hierarchy (in cycles)."""
+
+    l1_hit: int = 2
+    l2_hit: int = 10
+    memory: int = 40
+    block_elements: int = 8
+    l1_blocks: int = 256
+    l2_blocks: int = 2048
+
+
+class MemoryHierarchy:
+    """Latency model: per-processor L1 caches over a shared L2 over memory."""
+
+    def __init__(self, latencies: Optional[MemoryLatencies] = None, processors: int = 1):
+        self.latencies = latencies or MemoryLatencies()
+        self.processors = max(1, int(processors))
+        self._l1 = [
+            CacheLevel(
+                name=f"L1[{p}]",
+                capacity_blocks=self.latencies.l1_blocks,
+                hit_latency=self.latencies.l1_hit,
+            )
+            for p in range(self.processors)
+        ]
+        self._l2 = CacheLevel(
+            name="L2",
+            capacity_blocks=self.latencies.l2_blocks,
+            hit_latency=self.latencies.l2_hit,
+        )
+        self.accesses = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    # ------------------------------------------------------------------
+    def _block_of(self, address: Address) -> Tuple[str, int]:
+        variable, offset = address
+        return (variable, offset // max(1, self.latencies.block_elements))
+
+    def access_latency(self, address: Address, processor: int = 0) -> int:
+        """Latency of one access by ``processor`` (updates cache state)."""
+        self.accesses += 1
+        block = self._block_of(address)
+        l1 = self._l1[processor % self.processors]
+        if l1.lookup(block):
+            self.l1_hits += 1
+            return self.latencies.l1_hit
+        if self._l2.lookup(block):
+            self.l2_hits += 1
+            return self.latencies.l2_hit
+        return self.latencies.memory
+
+    def reset(self) -> None:
+        """Clear all cache state and counters."""
+        for level in self._l1:
+            level.reset()
+        self._l2.reset()
+        self.accesses = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    def hit_rates(self) -> Dict[str, float]:
+        """L1/L2 hit rates (diagnostics)."""
+        if self.accesses == 0:
+            return {"l1": 0.0, "l2": 0.0}
+        return {
+            "l1": self.l1_hits / self.accesses,
+            "l2": self.l2_hits / self.accesses,
+        }

@@ -1,0 +1,84 @@
+"""Execution statistics collected by the interpreters and engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionStats:
+    """Counters shared by the sequential interpreter and the speculative engines."""
+
+    #: Total simulated cycles.
+    cycles: int = 0
+    #: Dynamic memory reference counts keyed by static reference uid.
+    reference_counts: Dict[str, int] = field(default_factory=dict)
+    #: Dynamic reads / writes (totals).
+    reads: int = 0
+    writes: int = 0
+    #: References that went to speculative storage / bypassed it.
+    speculative_accesses: int = 0
+    idempotent_accesses: int = 0
+    private_accesses: int = 0
+    #: Speculation events.
+    violations: int = 0
+    control_mispredictions: int = 0
+    rollbacks: int = 0
+    segments_started: int = 0
+    segments_committed: int = 0
+    overflow_stalls: int = 0
+    overflow_entries: int = 0
+    commit_entries: int = 0
+    #: Wasted work: cycles spent in executions that were rolled back.
+    wasted_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    def count_reference(self, uid: str) -> None:
+        self.reference_counts[uid] = self.reference_counts.get(uid, 0) + 1
+
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Combine two stats objects (cycles add; counters add)."""
+        merged = ExecutionStats()
+        for name in (
+            "cycles",
+            "reads",
+            "writes",
+            "speculative_accesses",
+            "idempotent_accesses",
+            "private_accesses",
+            "violations",
+            "control_mispredictions",
+            "rollbacks",
+            "segments_started",
+            "segments_committed",
+            "overflow_stalls",
+            "overflow_entries",
+            "commit_entries",
+            "wasted_cycles",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.reference_counts = dict(self.reference_counts)
+        for uid, count in other.reference_counts.items():
+            merged.reference_counts[uid] = merged.reference_counts.get(uid, 0) + count
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar counters as a plain dict (reference counts omitted)."""
+        return {
+            "cycles": self.cycles,
+            "reads": self.reads,
+            "writes": self.writes,
+            "speculative_accesses": self.speculative_accesses,
+            "idempotent_accesses": self.idempotent_accesses,
+            "private_accesses": self.private_accesses,
+            "violations": self.violations,
+            "control_mispredictions": self.control_mispredictions,
+            "rollbacks": self.rollbacks,
+            "segments_started": self.segments_started,
+            "segments_committed": self.segments_committed,
+            "overflow_stalls": self.overflow_stalls,
+            "overflow_entries": self.overflow_entries,
+            "commit_entries": self.commit_entries,
+            "wasted_cycles": self.wasted_cycles,
+        }
