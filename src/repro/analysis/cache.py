@@ -1,0 +1,87 @@
+"""Cross-pass analysis cache.
+
+The labeling pipeline (Algorithm 2) needs the same facts several times:
+the read-only variable set feeds the access summaries, the dependence
+analyser *and* the RFW analysis; reports re-run the labeling per region;
+and the speculative engines re-ask for dependence graphs when choosing
+an execution mode.  Without a cache each pass recomputes everything from
+the region text.
+
+:class:`AnalysisCache` memoizes per-region artifacts.  Entries are keyed
+by the region *object* (regions hash by identity and are immutable after
+construction) together with a caller-supplied discriminator key, so the
+same region analysed under different knobs (granularity, direction,
+private sets...) gets distinct entries.  Holding the region object as
+the key keeps it alive while its entries are cached, which makes the
+cache immune to the id()-reuse hazard of address-keyed caches.
+
+Typical use::
+
+    cache = AnalysisCache()
+    result1 = label_region(region, cache=cache)   # cold: runs analyses
+    result2 = label_region(region, cache=cache)   # warm: dictionary hits
+
+**Aliasing contract:** cached values are returned *shared*, not
+copied — every warm hit hands back the same object (dependence graph,
+summary, RFW result).  Treat them as immutable; a caller that needs a
+private mutable copy must copy explicitly (e.g. rebuild a
+``DependenceGraph`` from its ``dependences`` list), or use
+:meth:`AnalysisCache.invalidate` to force recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.ir.region import Region
+
+
+class AnalysisCache:
+    """Memoizes per-region analysis results across passes."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Region, Dict[Hashable, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self, region: Region, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for ``(region, key)``; compute on miss."""
+        per_region = self._entries.setdefault(region, {})
+        if key in per_region:
+            self.hits += 1
+            return per_region[key]
+        self.misses += 1
+        value = compute()
+        per_region[key] = value
+        return value
+
+    def peek(self, region: Region, key: Hashable) -> Any:
+        """Cached value for ``(region, key)`` or ``None`` — never inserts."""
+        per_region = self._entries.get(region)
+        if per_region is None:
+            return None
+        return per_region.get(key)
+
+    def invalidate(self, region: Region) -> None:
+        """Drop all entries of one region."""
+        self._entries.pop(region, None)
+
+    def clear(self) -> None:
+        """Drop everything (counters kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus entry counts (diagnostics)."""
+        return {
+            "regions": len(self._entries),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

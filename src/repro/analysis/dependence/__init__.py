@@ -27,6 +27,11 @@ from repro.analysis.dependence.analyzer import (
     analyze_dependences,
 )
 from repro.analysis.dependence.graph import Dependence, DependenceGraph
+from repro.analysis.dependence.signature import (
+    ReferenceSignature,
+    SignatureIndex,
+    signature_of,
+)
 from repro.analysis.dependence.subscript import AffineSubscript, extract_affine
 from repro.analysis.dependence.tests import (
     AliasRelation,
@@ -42,8 +47,11 @@ __all__ = [
     "DependenceGranularity",
     "DependenceGraph",
     "DirectionMode",
+    "ReferenceSignature",
     "RelationSet",
+    "SignatureIndex",
     "analyze_dependences",
     "extract_affine",
+    "signature_of",
     "relation_of_reference_pair",
 ]

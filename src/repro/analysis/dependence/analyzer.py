@@ -28,11 +28,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.dependence.graph import (
     Dependence,
     DependenceGraph,
     dependence_kind,
 )
+from repro.analysis.dependence.signature import SignatureIndex
 from repro.analysis.dependence.tests import (
     ALL_RELATIONS,
     AliasRelation,
@@ -62,10 +64,19 @@ class DirectionMode(enum.Enum):
 
 @dataclass
 class DependenceAnalyzer:
-    """Configurable reference-by-reference dependence analyser."""
+    """Configurable reference-by-reference dependence analyser.
+
+    ``fast_path`` enables the signature-bucketed relation memoization of
+    :mod:`repro.analysis.dependence.signature` (identical results, far
+    fewer subscript tests); disable it to run the original pair-by-pair
+    tests, e.g. for baseline measurements.  ``cache`` memoizes whole
+    dependence graphs (and signature indexes) across analysis passes.
+    """
 
     granularity: DependenceGranularity = DependenceGranularity.ELEMENT
     direction: DirectionMode = DirectionMode.EXECUTION
+    fast_path: bool = True
+    cache: Optional[AnalysisCache] = None
 
     # ------------------------------------------------------------------
     def analyze(
@@ -77,7 +88,33 @@ class DependenceAnalyzer:
         """Build the dependence graph of ``region``."""
         private_variables = set(private_variables or ())
         if read_only is None:
-            read_only = read_only_variables(region)
+            if self.cache is not None:
+                read_only = self.cache.get_or_compute(
+                    region, "read_only", lambda: read_only_variables(region)
+                )
+            else:
+                read_only = read_only_variables(region)
+        if self.cache is not None:
+            key = (
+                "dependence_graph",
+                self.granularity,
+                self.direction,
+                frozenset(private_variables),
+                frozenset(read_only),
+            )
+            return self.cache.get_or_compute(
+                region,
+                key,
+                lambda: self._build(region, private_variables, read_only),
+            )
+        return self._build(region, private_variables, read_only)
+
+    def _build(
+        self,
+        region: Region,
+        private_variables: Set[str],
+        read_only: Set[str],
+    ) -> DependenceGraph:
         graph = DependenceGraph(region.name)
         if isinstance(region, LoopRegion):
             self._analyze_loop(region, graph, private_variables, read_only)
@@ -86,6 +123,21 @@ class DependenceAnalyzer:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown region type {type(region).__name__}")
         return graph
+
+    def _signature_index(
+        self, region: LoopRegion, read_only: Set[str]
+    ) -> SignatureIndex:
+        """Signature index for ``region`` (shared through the cache)."""
+        invariant = frozenset(read_only)
+
+        def build() -> SignatureIndex:
+            return SignatureIndex(region=region, invariant_symbols=invariant)
+
+        if self.cache is not None:
+            return self.cache.get_or_compute(
+                region, ("signature_index", invariant), build
+            )
+        return build()
 
     # ------------------------------------------------------------------
     # loop regions
@@ -101,19 +153,30 @@ class DependenceAnalyzer:
         for ref in region.references:
             by_var.setdefault(ref.variable, []).append(ref)
 
+        index: Optional[SignatureIndex] = None
+        if self.fast_path and self.granularity is DependenceGranularity.ELEMENT:
+            index = self._signature_index(region, read_only)
+
         for variable, refs in by_var.items():
             writes = [r for r in refs if r.access is AccessType.WRITE]
             if not writes:
                 continue  # read-only variables carry no dependences
             refs_sorted = sorted(refs, key=lambda r: r.order)
+            groups: Optional[List[int]] = None
+            if index is not None:
+                groups = [index.group_of(r) for r in refs_sorted]
             for i, ref_a in enumerate(refs_sorted):
-                for ref_b in refs_sorted[i:]:
-                    if (
-                        ref_a.access is AccessType.READ
-                        and ref_b.access is AccessType.READ
-                    ):
+                a_is_read = ref_a.access is AccessType.READ
+                for j in range(i, len(refs_sorted)):
+                    ref_b = refs_sorted[j]
+                    if a_is_read and ref_b.access is AccessType.READ:
                         continue
-                    relations = self._loop_relations(ref_a, ref_b, region, read_only)
+                    if groups is not None:
+                        relations = index.relations_of_groups(groups[i], groups[j])
+                    else:
+                        relations = self._loop_relations(
+                            ref_a, ref_b, region, read_only
+                        )
                     if not relations:
                         continue
                     self._emit_loop_dependences(
@@ -294,9 +357,16 @@ def analyze_dependences(
     read_only: Optional[Set[str]] = None,
     granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
     direction: DirectionMode = DirectionMode.EXECUTION,
+    fast_path: bool = True,
+    cache: Optional[AnalysisCache] = None,
 ) -> DependenceGraph:
     """Convenience wrapper around :class:`DependenceAnalyzer`."""
-    analyzer = DependenceAnalyzer(granularity=granularity, direction=direction)
+    analyzer = DependenceAnalyzer(
+        granularity=granularity,
+        direction=direction,
+        fast_path=fast_path,
+        cache=cache,
+    )
     return analyzer.analyze(
         region, private_variables=private_variables, read_only=read_only
     )

@@ -1,0 +1,32 @@
+"""Benchmark subsystem.
+
+* :mod:`repro.bench.workloads` -- parameterized synthetic loop-nest
+  families (stencil, reduction, sparse-indirection, guarded-update).
+* :mod:`repro.bench.harness` -- throughput measurement: analysis
+  references/s and simulation memory-ops/s, fast path vs baseline.
+* ``python -m repro.bench`` -- CLI entry point writing
+  ``BENCH_results.json`` (see :mod:`repro.bench.__main__`).
+"""
+
+from repro.bench.harness import FamilyResult, Measurement, geometric_mean, measure_family
+from repro.bench.workloads import (
+    DEFAULT_SIZES,
+    DEFAULT_STATEMENTS,
+    FAMILIES,
+    Workload,
+    generate,
+    generate_suite,
+)
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_STATEMENTS",
+    "FAMILIES",
+    "FamilyResult",
+    "Measurement",
+    "Workload",
+    "generate",
+    "generate_suite",
+    "geometric_mean",
+    "measure_family",
+]

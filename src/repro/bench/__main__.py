@@ -1,0 +1,208 @@
+"""Benchmark entry point: ``python -m repro.bench``.
+
+Measures analyze-throughput (references classified per second) and
+simulate-throughput (memory operations per second) for every workload
+family, on the fast path (signature-bucketed analysis + trace
+record-and-replay execution) and on the baseline path (the original
+pair-by-pair analysis and coroutine interpreter), and writes
+``BENCH_results.json``.
+
+Common invocations::
+
+    python -m repro.bench                 # full run, both paths + speedups
+    python -m repro.bench --smoke         # tiny sizes, CI-friendly
+    python -m repro.bench --no-fast-path  # baseline path only (e.g. to
+                                          # benchmark a tree without the
+                                          # fast path, same harness)
+    python -m repro.bench --fast-only     # skip the baseline re-measure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro._version import __version__
+from repro.bench.harness import FamilyResult, geometric_mean, measure_family
+from repro.bench.workloads import (
+    DEFAULT_STATEMENTS,
+    FAMILIES,
+    SMOKE_SIZE,
+    SMOKE_STATEMENTS,
+    generate_suite,
+)
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Analysis & simulation throughput benchmark.",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=0,
+        help="dynamic size for every family (0 = per-family default)",
+    )
+    parser.add_argument(
+        "--statements",
+        type=int,
+        default=DEFAULT_STATEMENTS,
+        help="unrolled statements per region body",
+    )
+    parser.add_argument(
+        "--families",
+        nargs="+",
+        choices=list(FAMILIES),
+        default=list(FAMILIES),
+        help="workload families to run",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes and minimal repetitions (CI smoke test)",
+    )
+    parser.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="measure only the baseline (seed) code path",
+    )
+    parser.add_argument(
+        "--fast-only",
+        action="store_true",
+        help="measure only the fast path (skip the baseline re-measure)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.4,
+        help="minimum accumulated wall-clock per measurement",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_results.json",
+        help="output JSON path",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    if args.no_fast_path and args.fast_only:
+        print("--no-fast-path and --fast-only are mutually exclusive", file=sys.stderr)
+        return 2
+
+    size = SMOKE_SIZE if args.smoke else args.size
+    statements = SMOKE_STATEMENTS if args.smoke else args.statements
+    min_seconds = 0.02 if args.smoke else args.min_seconds
+
+    suite = generate_suite(
+        size=size, statements=statements, families=tuple(args.families)
+    )
+
+    modes = []
+    if not args.no_fast_path:
+        modes.append(("fast", True))
+    if not args.fast_only:
+        modes.append(("baseline", False))
+
+    families: Dict[str, Dict] = {}
+    t_start = time.perf_counter()
+    for workload in suite:
+        entry: Dict = {}
+        measured: Dict[str, FamilyResult] = {}
+        for mode_name, fast in modes:
+            print(
+                f"[bench] {workload.family:<10} {mode_name:<8} "
+                f"(size={workload.size}, statements={workload.statements}) ...",
+                flush=True,
+            )
+            result = measure_family(
+                workload, fast_path=fast, min_seconds=min_seconds
+            )
+            measured[mode_name] = result
+            entry[mode_name] = result.as_dict()
+        if "fast" in measured and "baseline" in measured:
+            fast_r, base_r = measured["fast"], measured["baseline"]
+            entry["speedup"] = {
+                "analyze": round(
+                    fast_r.analyze.per_second
+                    / max(base_r.analyze.per_second, 1e-9),
+                    2,
+                ),
+                "analyze_warm": round(
+                    fast_r.analyze_warm.per_second
+                    / max(base_r.analyze_warm.per_second, 1e-9),
+                    2,
+                ),
+                "simulate": round(
+                    fast_r.simulate.per_second
+                    / max(base_r.simulate.per_second, 1e-9),
+                    2,
+                ),
+            }
+        families[workload.family] = entry
+
+    report = {
+        "meta": {
+            "version": __version__,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "size": size,
+            "statements": statements,
+            "smoke": args.smoke,
+            "modes": [name for name, _ in modes],
+            "wall_seconds": round(time.perf_counter() - t_start, 2),
+        },
+        "families": families,
+    }
+    if all("speedup" in entry for entry in families.values()) and families:
+        report["summary"] = {
+            "analyze_speedup_geomean": round(
+                geometric_mean(
+                    [e["speedup"]["analyze"] for e in families.values()]
+                ),
+                2,
+            ),
+            "simulate_speedup_geomean": round(
+                geometric_mean(
+                    [e["speedup"]["simulate"] for e in families.values()]
+                ),
+                2,
+            ),
+        }
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    print(f"[bench] wrote {args.out}")
+    for family, entry in families.items():
+        line = f"[bench] {family:<10}"
+        for mode_name, _ in modes:
+            r = entry[mode_name]
+            line += (
+                f"  {mode_name}: analyze={r['analyze_refs_per_s']:,.0f} refs/s"
+                f" simulate={r['simulate_ops_per_s']:,.0f} ops/s"
+            )
+        if "speedup" in entry:
+            line += (
+                f"  speedup: analyze={entry['speedup']['analyze']}x"
+                f" simulate={entry['speedup']['simulate']}x"
+            )
+        print(line)
+    if "summary" in report:
+        print(
+            f"[bench] geomean speedup: "
+            f"analyze={report['summary']['analyze_speedup_geomean']}x "
+            f"simulate={report['summary']['simulate_speedup_geomean']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

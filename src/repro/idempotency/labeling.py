@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.analysis.access import AccessSummary, summarize_region_segments
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.control_dependence import has_cross_segment_control_dependence
 from repro.analysis.dependence import (
     DependenceGranularity,
@@ -119,6 +120,8 @@ def label_region(
     live_out: Optional[Set[str]] = None,
     granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
     direction: DirectionMode = DirectionMode.EXECUTION,
+    fast_path: bool = True,
+    cache: Optional[AnalysisCache] = None,
 ) -> LabelingResult:
     """Run the full labeling pipeline (Algorithm 2) on one region.
 
@@ -126,9 +129,25 @@ def label_region(
     region's declaration or computed from ``program`` context (and falls
     back to "every written variable is live" when neither is available,
     which is the conservative choice).
+
+    ``fast_path`` toggles the signature-bucketed dependence analysis
+    (identical labels either way); a shared ``cache`` lets repeated
+    labeling passes over the same region reuse the read-only sets,
+    access summaries, dependence graphs and RFW results instead of
+    recomputing them.
     """
-    read_only = read_only_variables(region)
-    summaries = summarize_region_segments(region, read_only_vars=read_only)
+    if cache is not None:
+        read_only = cache.get_or_compute(
+            region, "read_only", lambda: read_only_variables(region)
+        )
+        summaries = cache.get_or_compute(
+            region,
+            ("summaries", frozenset(read_only)),
+            lambda: summarize_region_segments(region, read_only_vars=read_only),
+        )
+    else:
+        read_only = read_only_variables(region)
+        summaries = summarize_region_segments(region, read_only_vars=read_only)
 
     if live_out is None:
         if program is not None:
@@ -149,8 +168,19 @@ def label_region(
         read_only=read_only,
         granularity=granularity,
         direction=direction,
+        fast_path=fast_path,
+        cache=cache,
     )
-    rfw = analyze_rfw(region, live_out, summaries=summaries, read_only=read_only)
+    if cache is not None:
+        rfw = cache.get_or_compute(
+            region,
+            ("rfw", frozenset(live_out), frozenset(read_only)),
+            lambda: analyze_rfw(
+                region, live_out, summaries=summaries, read_only=read_only
+            ),
+        )
+    else:
+        rfw = analyze_rfw(region, live_out, summaries=summaries, read_only=read_only)
     control_dep = has_cross_segment_control_dependence(region)
     fully_independent = (
         not dependences.has_cross_segment_dependences() and not control_dep
@@ -242,11 +272,18 @@ def label_program(
     program: Program,
     granularity: DependenceGranularity = DependenceGranularity.ELEMENT,
     direction: DirectionMode = DirectionMode.EXECUTION,
+    fast_path: bool = True,
+    cache: Optional[AnalysisCache] = None,
 ) -> Dict[str, LabelingResult]:
     """Label every region of ``program``; keyed by region name."""
     return {
         region.name: label_region(
-            region, program=program, granularity=granularity, direction=direction
+            region,
+            program=program,
+            granularity=granularity,
+            direction=direction,
+            fast_path=fast_path,
+            cache=cache,
         )
         for region in program.regions
     }

@@ -51,7 +51,10 @@ class MemoryReference:
     conditional: bool = False
     in_inner_loop: bool = False
     is_control: bool = False
-    enclosing_loops: Tuple[str, ...] = ()
+    #: The ``Do`` statements enclosing the reference, outermost first.
+    #: The affine subscript, coverage and dependence analyses read both
+    #: the index names and the (constant) bounds off these statements.
+    enclosing_loops: Tuple[Do, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -104,7 +107,7 @@ class _ExtractionContext:
     locals_in_scope: Set[str] = field(default_factory=set)
     conditional: bool = False
     in_inner_loop: bool = False
-    enclosing_loops: Tuple[str, ...] = ()
+    enclosing_loops: Tuple[Do, ...] = ()
     order: int = 0
     counter: int = 0
     out: List[MemoryReference] = field(default_factory=list)
@@ -241,7 +244,7 @@ def _walk_do(ctx: _ExtractionContext, stmt: Do) -> None:
     ctx.conditional = ctx.conditional or not guaranteed
     ctx.in_inner_loop = True
     ctx.locals_in_scope = saved_locals | {stmt.index}
-    ctx.enclosing_loops = saved_loops + (stmt.index,)
+    ctx.enclosing_loops = saved_loops + (stmt,)
     _walk_body(ctx, stmt.body)
     ctx.conditional = saved_cond
     ctx.in_inner_loop = saved_inner

@@ -40,7 +40,9 @@ class Statement:
         owning region is finalised.
     """
 
-    __slots__ = ("sid", "reads", "write", "control_reads", "_token")
+    # __weakref__ lets caches (e.g. the executor's per-statement cost
+    # cache) key on statements without keeping them alive.
+    __slots__ = ("sid", "reads", "write", "control_reads", "_token", "__weakref__")
 
     def __init__(self) -> None:
         self.sid: Optional[str] = None

@@ -145,6 +145,33 @@ class SymbolTable:
     """Mapping of names to :class:`Symbol` objects for one program."""
 
     _symbols: Dict[str, Symbol] = field(default_factory=dict)
+    #: Flattened-address cache shared by every MemoryImage built over
+    #: this table (symbol geometry is immutable, so entries never go
+    #: stale and survive across program runs).
+    _address_cache: Dict[tuple, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # address translation (hot path)
+    # ------------------------------------------------------------------
+    def address_of(self, variable: str, subscripts: Tuple[int, ...]) -> tuple:
+        """``(variable, flattened offset)`` with memoized flattening.
+
+        Raises :class:`SymbolError` for undeclared variables or
+        out-of-bounds subscripts (validation happens on first use of
+        each address; cached entries were already validated).
+        """
+        key = (variable, subscripts)
+        address = self._address_cache.get(key)
+        if address is None:
+            symbol = self._symbols.get(variable)
+            if symbol is None:
+                raise SymbolError(f"undeclared variable {variable!r}")
+            offset = symbol.flatten_index(tuple(int(s) for s in subscripts))
+            address = (variable, offset)
+            self._address_cache[key] = address
+        return address
 
     # ------------------------------------------------------------------
     # declaration / lookup

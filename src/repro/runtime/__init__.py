@@ -6,31 +6,48 @@
 * :mod:`repro.runtime.executor` -- a generator-based micro-interpreter
   that turns a segment body into a stream of compute / read / write
   operations tagged with their static memory references.
+* :mod:`repro.runtime.trace` -- the record-and-replay fast path: loop
+  regions with input-independent control flow are recorded once into a
+  flat event schedule and replayed per iteration, bypassing AST
+  re-interpretation while yielding bit-identical operation streams.
 * :mod:`repro.runtime.interpreter` -- the sequential reference
   interpreter (ground truth for all correctness checks, and the source
-  of dynamic reference counts).
-* :mod:`repro.runtime.specstore` -- per-segment speculative storage with
-  capacity accounting, read/write sets and dependence-violation checks.
-* :mod:`repro.runtime.engine` -- the speculative execution engine
-  implementing both HOSE (Definition 2) and CASE (Definition 4): CASE is
-  HOSE plus idempotent-reference bypass and per-segment private frames.
+  of dynamic reference counts), driving either execution path.
+
+The speculative substrates (per-segment speculative storage, the HOSE
+and CASE engines of Definitions 2 and 4) are future work tracked in
+ROADMAP.md; they will drive the same operation streams.
 """
 
-from repro.runtime.errors import SimulationError
-from repro.runtime.memory import MemoryHierarchy, MemoryImage
-from repro.runtime.interpreter import SequentialInterpreter, SequentialResult
-from repro.runtime.specstore import SpeculativeStore
-from repro.runtime.engine import SpeculativeEngine, RegionExecutionResult
+from repro.runtime.errors import AddressError, SimulationError
+from repro.runtime.memory import MemoryHierarchy, MemoryImage, MemoryLatencies
+from repro.runtime.interpreter import (
+    SequentialInterpreter,
+    SequentialResult,
+    run_program,
+)
 from repro.runtime.stats import ExecutionStats
+from repro.runtime.trace import (
+    SegmentTrace,
+    TraceError,
+    record_trace,
+    replay_segment,
+    trace_eligibility,
+)
 
 __all__ = [
+    "AddressError",
     "ExecutionStats",
     "MemoryHierarchy",
     "MemoryImage",
-    "RegionExecutionResult",
+    "MemoryLatencies",
+    "SegmentTrace",
     "SequentialInterpreter",
     "SequentialResult",
     "SimulationError",
-    "SpeculativeEngine",
-    "SpeculativeStore",
+    "TraceError",
+    "record_trace",
+    "replay_segment",
+    "run_program",
+    "trace_eligibility",
 ]

@@ -26,6 +26,7 @@ register file and never reach memory, again matching extraction).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -102,20 +103,23 @@ class ExecContext:
             )
 
 
-_COST_CACHE: Dict[int, int] = {}
+# Keyed by the statement *object* (statements hash by identity), held
+# weakly: an id()-keyed dict would hand out a stale cost when a dead
+# statement's address is reused by a new one, and a strong-keyed dict
+# would leak every statement ever executed.
+_COST_CACHE: "weakref.WeakKeyDictionary[Statement, int]" = weakref.WeakKeyDictionary()
 
 
 def _compute_cost(stmt: Statement, expr: Expr) -> int:
     """Static instruction-count estimate of evaluating ``expr`` (cached)."""
-    key = id(stmt)
-    cached = _COST_CACHE.get(key)
+    cached = _COST_CACHE.get(stmt)
     if cached is not None:
         return cached
     operators = sum(
         1 for node in expr.walk() if isinstance(node, (BinOp, UnaryOp, Call))
     )
     cost = 1 + operators
-    _COST_CACHE[key] = cost
+    _COST_CACHE[stmt] = cost
     return cost
 
 

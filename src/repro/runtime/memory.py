@@ -26,36 +26,52 @@ from repro.runtime.errors import AddressError
 Address = Tuple[str, int]
 
 
+_MISSING = object()
+
+
 class MemoryImage:
     """Architectural values of all program variables."""
 
     def __init__(self, symbols: SymbolTable):
         self.symbols = symbols
         self._values: Dict[Address, float] = {}
+        #: Hot-path caches: resolved symbols and initial values by name.
+        #: Symbols are immutable so entries never go stale.  Address
+        #: flattening is memoized on the symbol table itself so the
+        #: cache survives across memory images of the same program.
+        self._symbol_cache: Dict[str, Symbol] = {}
+        self._initial_cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
+    def _symbol(self, variable: str) -> Symbol:
+        symbol = self._symbol_cache.get(variable)
+        if symbol is None:
+            symbol = self.symbols.get(variable)
+            if symbol is None:
+                raise AddressError(f"undeclared variable {variable!r}")
+            self._symbol_cache[variable] = symbol
+        return symbol
+
     def address_of(self, variable: str, subscripts: Sequence[int] = ()) -> Address:
         """Translate a variable + subscripts into an :data:`Address`."""
-        symbol = self.symbols.get(variable)
-        if symbol is None:
-            raise AddressError(f"undeclared variable {variable!r}")
         try:
-            offset = symbol.flatten_index(tuple(int(s) for s in subscripts))
+            return self.symbols.address_of(variable, tuple(subscripts))
         except SymbolError as exc:
             raise AddressError(str(exc)) from exc
-        return (variable, offset)
 
     def initial_value(self, variable: str) -> float:
-        symbol = self.symbols.get(variable)
-        if symbol is None:
-            raise AddressError(f"undeclared variable {variable!r}")
-        return float(symbol.initial)
+        value = self._initial_cache.get(variable)
+        if value is None:
+            value = float(self._symbol(variable).initial)
+            self._initial_cache[variable] = value
+        return value
 
     # ------------------------------------------------------------------
     def load(self, address: Address) -> float:
         """Read a value (defaults to the symbol's initial value)."""
-        if address in self._values:
-            return self._values[address]
+        value = self._values.get(address, _MISSING)
+        if value is not _MISSING:
+            return value
         return self.initial_value(address[0])
 
     def store(self, address: Address, value: float) -> None:

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import os
+import sys
+
+# Allow running pytest without an installed package (the tier-1 command
+# sets PYTHONPATH=src; this keeps bare `pytest` working too).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.runtime.memory import MemoryImage  # noqa: E402
+
+
+def drive_stream(coroutine, memory: MemoryImage):
+    """Pump a segment coroutine against ``memory``; return the op list."""
+    ops = []
+    try:
+        op = coroutine.send(None)
+        while True:
+            ops.append(op)
+            name = type(op).__name__
+            if name == "ReadOp":
+                op = coroutine.send(memory.read(op.variable, op.subscripts))
+            else:
+                if name == "WriteOp":
+                    memory.write(op.variable, op.value, op.subscripts)
+                op = coroutine.send(None)
+    except StopIteration:
+        return ops

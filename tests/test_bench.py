@@ -1,0 +1,67 @@
+"""Benchmark subsystem tests: generators, harness, CLI output."""
+
+import json
+
+from repro.bench import FAMILIES, generate, generate_suite, measure_family
+from repro.bench.__main__ import main as bench_main
+from repro.runtime.interpreter import run_program
+
+
+class TestWorkloads:
+    def test_all_families_generate_and_run(self):
+        for workload in generate_suite(size=12, statements=2):
+            result = run_program(workload.program)
+            assert result.stats.segments_committed > 0, workload.family
+
+    def test_statement_knob_scales_references(self):
+        small = generate("stencil", 16, 2)
+        large = generate("stencil", 16, 6)
+        assert len(large.region.references) > len(small.region.references)
+
+    def test_unknown_family_rejected(self):
+        try:
+            generate("nonsense", 16)
+        except ValueError as exc:
+            assert "nonsense" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestHarness:
+    def test_measure_family_smoke(self):
+        workload = generate("reduction", 12, 2)
+        result = measure_family(workload, min_seconds=0.01, min_repeats=1)
+        assert result.analyze.per_second > 0
+        assert result.simulate.per_second > 0
+        assert result.replayed
+        payload = result.as_dict()
+        assert payload["family"] == "reduction"
+        assert payload["references"] == len(workload.region.references)
+
+
+class TestCLI:
+    def test_smoke_run_writes_json(self, tmp_path):
+        out = tmp_path / "BENCH_results.json"
+        code = bench_main(["--smoke", "--out", str(out), "--families", "stencil"])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["meta"]["smoke"] is True
+        entry = report["families"]["stencil"]
+        for mode in ("fast", "baseline"):
+            assert entry[mode]["analyze_refs_per_s"] > 0
+            assert entry[mode]["simulate_ops_per_s"] > 0
+        assert "speedup" in entry
+        assert sorted(FAMILIES) == sorted(
+            ["guarded", "reduction", "sparse", "stencil"]
+        )
+
+    def test_no_fast_path_selects_baseline_only(self, tmp_path):
+        out = tmp_path / "baseline.json"
+        code = bench_main(
+            ["--smoke", "--no-fast-path", "--out", str(out), "--families", "sparse"]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        entry = report["families"]["sparse"]
+        assert "baseline" in entry and "fast" not in entry
+        assert entry["baseline"]["replayed"] is False
