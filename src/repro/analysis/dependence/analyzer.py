@@ -28,6 +28,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.analysis.access import linear_terms
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.dependence.graph import (
     Dependence,
@@ -46,6 +47,115 @@ from repro.analysis.readonly import read_only_variables
 from repro.ir.reference import MemoryReference
 from repro.ir.region import ExplicitRegion, LoopRegion, Region
 from repro.ir.types import AccessType, DependenceScope
+
+
+def _subscript_facts(ref: MemoryReference, memo: Dict[str, tuple]) -> tuple:
+    """Cached (textual subscripts, affine decompositions) of one reference.
+
+    Computed once per reference per analysis run -- the pair loops below
+    consult these facts O(n^2) times per variable.
+    """
+    facts = memo.get(ref.uid)
+    if facts is None:
+        facts = (
+            tuple(str(s) for s in ref.subscripts),
+            [linear_terms(s) for s in ref.subscripts],
+        )
+        memo[ref.uid] = facts
+    return facts
+
+
+def _intra_reverse_may_alias(
+    ref_a: MemoryReference,
+    ref_b: MemoryReference,
+    invariant: Set[str],
+    memo: Dict[str, tuple],
+) -> bool:
+    """May an *instance* of the textually-later reference execute before
+    an instance of the textually-earlier one within a single segment?
+
+    Within one segment execution the two references interleave only when
+    both sit inside a common inner ``DO`` loop: iteration ``t`` of the
+    loop runs the textually-later reference before iteration ``t+1``
+    runs the textually-earlier one, so a may-alias across iterations is
+    a real intra-segment dependence *against* textual order (e.g. the
+    accumulation ``y(k) = y(k) + ...`` repeated by an inner loop, where
+    the write of iteration ``t`` feeds the read of iteration ``t+1``).
+
+    The one refinement: when the two references have structurally
+    identical subscripts and every shared inner index is pinned by a
+    dimension of its own (nonzero affine coefficient, no other shared
+    index in that dimension, every other symbol in ``invariant`` -- the
+    region index and region-read-only scalars, whose values cannot
+    change between the two instances), distinct iterations touch
+    distinct addresses and aliasing forces the *same* instance -- where
+    textual order decides and no reverse dependence exists.  A symbol
+    written inside the region (e.g. a scalar decremented by the inner
+    loop) voids the pin: ``a(t + m)`` with ``m`` counting down touches
+    the same address every iteration.
+    """
+    shared = [do for do in ref_a.enclosing_loops if do in ref_b.enclosing_loops]
+    if not shared:
+        return False
+    subs_a, dims = _subscript_facts(ref_a, memo)
+    subs_b, _ = _subscript_facts(ref_b, memo)
+    if subs_a == subs_b and ref_a.subscripts:
+        shared_indices = {do.index for do in shared}
+        if all(d is not None for d in dims):
+            pinned: Set[str] = set()
+            for coeffs, _const in dims:
+                involved = {
+                    name
+                    for name, coeff in coeffs.items()
+                    if coeff != 0 and name in shared_indices
+                }
+                others_invariant = all(
+                    name in shared_indices or name in invariant
+                    for name, coeff in coeffs.items()
+                    if coeff != 0
+                )
+                if len(involved) == 1 and others_invariant:
+                    pinned |= involved
+            if shared_indices <= pinned:
+                return False
+    return True
+
+
+def _emit_intra_segment(
+    graph: DependenceGraph,
+    ref_a: MemoryReference,
+    ref_b: MemoryReference,
+    variable: str,
+    invariant: Set[str],
+    memo: Dict[str, tuple],
+) -> None:
+    """Intra-segment dependences of one aliasing pair.
+
+    Program order decides the direction for same-instance aliasing; a
+    shared inner loop additionally interleaves the instances, making
+    the reverse direction real (see :func:`_intra_reverse_may_alias`).
+    """
+    source, sink = (
+        (ref_a, ref_b) if ref_a.order < ref_b.order else (ref_b, ref_a)
+    )
+    pairs = (
+        ((source, sink), (sink, source))
+        if _intra_reverse_may_alias(ref_a, ref_b, invariant, memo)
+        else ((source, sink),)
+    )
+    for src, snk in pairs:
+        kind = dependence_kind(src, snk)
+        if kind is not None:
+            graph.add(
+                Dependence(
+                    source=src,
+                    sink=snk,
+                    kind=kind,
+                    scope=DependenceScope.INTRA_SEGMENT,
+                    variable=variable,
+                    distance=0,
+                )
+            )
 
 
 class DependenceGranularity(enum.Enum):
@@ -119,7 +229,7 @@ class DependenceAnalyzer:
         if isinstance(region, LoopRegion):
             self._analyze_loop(region, graph, private_variables, read_only)
         elif isinstance(region, ExplicitRegion):
-            self._analyze_explicit(region, graph, private_variables)
+            self._analyze_explicit(region, graph, private_variables, read_only)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown region type {type(region).__name__}")
         return graph
@@ -157,6 +267,11 @@ class DependenceAnalyzer:
         if self.fast_path and self.granularity is DependenceGranularity.ELEMENT:
             index = self._signature_index(region, read_only)
 
+        # Names whose values cannot change between two instances within
+        # one segment: the region index and region-read-only scalars.
+        invariant = set(read_only) | {region.index}
+        memo: Dict[str, tuple] = {}
+
         for variable, refs in by_var.items():
             writes = [r for r in refs if r.access is AccessType.WRITE]
             if not writes:
@@ -186,6 +301,8 @@ class DependenceAnalyzer:
                         relations,
                         variable,
                         private_variables,
+                        invariant,
+                        memo,
                     )
 
     def _loop_relations(
@@ -207,24 +324,12 @@ class DependenceAnalyzer:
         relations: RelationSet,
         variable: str,
         private_variables: Set[str],
+        invariant: Set[str],
+        memo: Dict[str, tuple],
     ) -> None:
-        # Intra-segment dependence (same iteration): program order decides.
+        # Intra-segment dependences (same iteration).
         if AliasRelation.SAME in relations and ref_a is not ref_b:
-            source, sink = (
-                (ref_a, ref_b) if ref_a.order < ref_b.order else (ref_b, ref_a)
-            )
-            kind = dependence_kind(source, sink)
-            if kind is not None:
-                graph.add(
-                    Dependence(
-                        source=source,
-                        sink=sink,
-                        kind=kind,
-                        scope=DependenceScope.INTRA_SEGMENT,
-                        variable=variable,
-                        distance=0,
-                    )
-                )
+            _emit_intra_segment(graph, ref_a, ref_b, variable, invariant, memo)
 
         # Cross-segment dependences.
         if variable in private_variables:
@@ -282,6 +387,7 @@ class DependenceAnalyzer:
         region: ExplicitRegion,
         graph: DependenceGraph,
         private_variables: Set[str],
+        read_only: Set[str],
     ) -> None:
         from repro.analysis.cfg import SegmentGraph
 
@@ -293,6 +399,10 @@ class DependenceAnalyzer:
         by_var: Dict[str, List[MemoryReference]] = {}
         for ref in region.references:
             by_var.setdefault(ref.variable, []).append(ref)
+
+        # Explicit regions have no region index; only region-read-only
+        # scalars are invariant between two instances within one segment.
+        memo: Dict[str, tuple] = {}
 
         for variable, refs in by_var.items():
             writes = [r for r in refs if r.access is AccessType.WRITE]
@@ -308,21 +418,9 @@ class DependenceAnalyzer:
                     if not explicit_pair_may_alias(ref_a, ref_b):
                         continue
                 if ref_a.segment == ref_b.segment:
-                    source, sink = (
-                        (ref_a, ref_b) if ref_a.order < ref_b.order else (ref_b, ref_a)
+                    _emit_intra_segment(
+                        graph, ref_a, ref_b, variable, read_only, memo
                     )
-                    kind = dependence_kind(source, sink)
-                    if kind is not None:
-                        graph.add(
-                            Dependence(
-                                source=source,
-                                sink=sink,
-                                kind=kind,
-                                scope=DependenceScope.INTRA_SEGMENT,
-                                variable=variable,
-                                distance=0,
-                            )
-                        )
                 else:
                     if variable in private_variables:
                         continue

@@ -4,10 +4,19 @@
   families (stencil, reduction, sparse-indirection, guarded-update).
 * :mod:`repro.bench.harness` -- throughput measurement: analysis
   references/s and simulation memory-ops/s, fast path vs baseline.
+* :mod:`repro.bench.engines` -- the HOSE vs CASE speculative-storage
+  scenario: pressure metrics across buffer capacities, each run checked
+  bit-for-bit against the sequential interpreter.
 * ``python -m repro.bench`` -- CLI entry point writing
   ``BENCH_results.json`` (see :mod:`repro.bench.__main__`).
 """
 
+from repro.bench.engines import (
+    ENGINE_CAPACITIES,
+    measure_engine_family,
+    measure_engines,
+    verify_engines,
+)
 from repro.bench.harness import FamilyResult, Measurement, geometric_mean, measure_family
 from repro.bench.workloads import (
     DEFAULT_SIZES,
@@ -21,6 +30,7 @@ from repro.bench.workloads import (
 __all__ = [
     "DEFAULT_SIZES",
     "DEFAULT_STATEMENTS",
+    "ENGINE_CAPACITIES",
     "FAMILIES",
     "FamilyResult",
     "Measurement",
@@ -28,5 +38,8 @@ __all__ = [
     "generate",
     "generate_suite",
     "geometric_mean",
+    "measure_engine_family",
+    "measure_engines",
     "measure_family",
+    "verify_engines",
 ]

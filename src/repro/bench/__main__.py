@@ -7,6 +7,11 @@ record-and-replay execution) and on the baseline path (the original
 pair-by-pair analysis and coroutine interpreter), and writes
 ``BENCH_results.json``.
 
+The speculative-engine scenario (HOSE vs CASE speculative-storage
+pressure across buffer capacities, every run checked bit-for-bit
+against the sequential interpreter) runs by default and lands under the
+``engines`` key of the report.
+
 Common invocations::
 
     python -m repro.bench                 # full run, both paths + speedups
@@ -15,6 +20,10 @@ Common invocations::
                                           # benchmark a tree without the
                                           # fast path, same harness)
     python -m repro.bench --fast-only     # skip the baseline re-measure
+    python -m repro.bench --no-engines    # skip the HOSE/CASE scenario
+    python -m repro.bench --verify-engines  # equivalence check only:
+                                          # HOSE/CASE final state vs
+                                          # sequential, exit 1 on drift
 """
 
 from __future__ import annotations
@@ -27,6 +36,15 @@ import time
 from typing import Dict
 
 from repro._version import __version__
+from repro.bench.engines import (
+    ENGINE_CAPACITIES,
+    ENGINE_SIZE,
+    ENGINE_SMOKE_SIZE,
+    ENGINE_STATEMENTS,
+    ENGINE_WINDOW,
+    measure_engines,
+    verify_engines,
+)
 from repro.bench.harness import FamilyResult, geometric_mean, measure_family
 from repro.bench.workloads import (
     DEFAULT_STATEMENTS,
@@ -77,6 +95,30 @@ def _parse_args(argv):
         help="measure only the fast path (skip the baseline re-measure)",
     )
     parser.add_argument(
+        "--no-engines",
+        action="store_true",
+        help="skip the HOSE/CASE speculative-storage scenario",
+    )
+    parser.add_argument(
+        "--engine-capacities",
+        type=int,
+        nargs="+",
+        default=list(ENGINE_CAPACITIES),
+        help="speculative-buffer capacities swept by the engine scenario",
+    )
+    parser.add_argument(
+        "--engine-window",
+        type=int,
+        default=ENGINE_WINDOW,
+        help="in-flight segments per region in the engine scenario",
+    )
+    parser.add_argument(
+        "--verify-engines",
+        action="store_true",
+        help="only check HOSE/CASE final-state equivalence vs the "
+        "sequential interpreter (exit 1 on any divergence)",
+    )
+    parser.add_argument(
         "--min-seconds",
         type=float,
         default=0.4,
@@ -95,6 +137,32 @@ def main(argv=None) -> int:
     if args.no_fast_path and args.fast_only:
         print("--no-fast-path and --fast-only are mutually exclusive", file=sys.stderr)
         return 2
+
+    if args.verify_engines:
+        verify_size = args.size if args.size else ENGINE_SMOKE_SIZE
+        verify_statements = (
+            SMOKE_STATEMENTS if args.smoke else min(args.statements, 4)
+        )
+        windows = tuple(sorted({1, args.engine_window}))
+        print(
+            f"[bench] engine equivalence: HOSE/CASE vs sequential "
+            f"(size={verify_size}, statements={verify_statements}, "
+            f"windows={list(windows)}, "
+            f"capacities={args.engine_capacities}) ..."
+        )
+        failures = verify_engines(
+            size=verify_size,
+            statements=verify_statements,
+            families=tuple(args.families),
+            windows=windows,
+            capacities=tuple(args.engine_capacities),
+        )
+        for failure in failures:
+            print(f"[bench] FAIL {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("[bench] engine equivalence OK (all final states bit-identical)")
+        return 0
 
     size = SMOKE_SIZE if args.smoke else args.size
     statements = SMOKE_STATEMENTS if args.smoke else args.statements
@@ -147,6 +215,33 @@ def main(argv=None) -> int:
             }
         families[workload.family] = entry
 
+    engines_section = None
+    if not args.no_engines:
+        engine_size = ENGINE_SMOKE_SIZE if args.smoke else ENGINE_SIZE
+        engine_statements = (
+            SMOKE_STATEMENTS if args.smoke else ENGINE_STATEMENTS
+        )
+        print(
+            f"[bench] engines: HOSE vs CASE "
+            f"(size={engine_size}, statements={engine_statements}, "
+            f"window={args.engine_window}, "
+            f"capacities={args.engine_capacities}) ...",
+            flush=True,
+        )
+        engines_section = {
+            "size": engine_size,
+            "statements": engine_statements,
+            "window": args.engine_window,
+            "capacities": list(args.engine_capacities),
+            "families": measure_engines(
+                size=engine_size,
+                statements=engine_statements,
+                families=tuple(args.families),
+                capacities=tuple(args.engine_capacities),
+                window=args.engine_window,
+            ),
+        }
+
     report = {
         "meta": {
             "version": __version__,
@@ -160,6 +255,8 @@ def main(argv=None) -> int:
         },
         "families": families,
     }
+    if engines_section is not None:
+        report["engines"] = engines_section
     if all("speedup" in entry for entry in families.values()) and families:
         report["summary"] = {
             "analyze_speedup_geomean": round(
@@ -201,6 +298,30 @@ def main(argv=None) -> int:
             f"analyze={report['summary']['analyze_speedup_geomean']}x "
             f"simulate={report['summary']['simulate_speedup_geomean']}x"
         )
+    if engines_section is not None:
+        mismatches = 0
+        for family, entry in engines_section["families"].items():
+            for capacity, row in entry["capacities"].items():
+                hose, case = row["hose"], row["case"]
+                for side in (hose, case):
+                    if not side["matches_sequential"]:
+                        mismatches += 1
+                print(
+                    f"[bench] {family:<10} cap={capacity:>4}  "
+                    f"commit: hose={hose['commit_entries']:>6} "
+                    f"case={case['commit_entries']:>6}  "
+                    f"peak: hose={hose['spec_peak_entries']:>5} "
+                    f"case={case['spec_peak_entries']:>5}  "
+                    f"stalls: hose={hose['overflow_stalls']:>4} "
+                    f"case={case['overflow_stalls']:>4}"
+                )
+        if mismatches:
+            print(
+                f"[bench] WARNING: {mismatches} engine runs diverged from "
+                f"the sequential interpreter",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -1,0 +1,147 @@
+"""HOSE vs CASE speculative-storage scenario (the paper's headline).
+
+For every workload family, run the hardware-only engine (HOSE) and the
+compiler-assisted engine (CASE) over a sweep of speculative-storage
+capacities and report the pressure metrics the paper's evaluation is
+about: entries committed from speculative storage, occupancy high-water
+marks, overflow stalls, violations and rollbacks.  CASE consumes the
+idempotency labels of Algorithm 2, so idempotent references never
+occupy buffer entries -- the expected shape is CASE at or below HOSE on
+every storage metric, with the gap widening as the idempotent fraction
+grows.
+
+Every engine run is checked bit-for-bit against the sequential
+interpreter (``matches_sequential``); a mismatch in the report is a
+correctness bug, not noise.  :func:`verify_engines` packages that check
+as a standalone pass for CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import AnalysisCache
+from repro.bench.workloads import FAMILIES, Workload, generate
+from repro.runtime.engines import CASEEngine, HOSEEngine, SpeculativeResult
+from repro.runtime.interpreter import run_program
+
+#: Per-segment buffer capacities swept by the scenario.
+ENGINE_CAPACITIES: Tuple[int, ...] = (4, 16, 64)
+#: Dynamic size of the engine workloads.  The engines simulate an
+#: age-ordered round-robin op interleave in pure Python, so the
+#: scenario uses smaller programs than the throughput measurements.
+ENGINE_SIZE = 24
+ENGINE_SMOKE_SIZE = 10
+ENGINE_STATEMENTS = 3
+ENGINE_WINDOW = 4
+
+
+def _engine_row(result: SpeculativeResult, matches: bool) -> Dict:
+    stats = result.stats
+    return {
+        "commit_entries": stats.commit_entries,
+        "spec_peak_entries": result.spec_peak_entries,
+        "spec_peak_segment_entries": result.spec_peak_segment_entries,
+        "overflow_stalls": stats.overflow_stalls,
+        "overflow_entries": stats.overflow_entries,
+        "violations": stats.violations,
+        "rollbacks": stats.rollbacks,
+        "wasted_cycles": stats.wasted_cycles,
+        "speculative_accesses": stats.speculative_accesses,
+        "idempotent_accesses": stats.idempotent_accesses,
+        "private_accesses": stats.private_accesses,
+        "segments_committed": stats.segments_committed,
+        "matches_sequential": matches,
+    }
+
+
+def measure_engine_family(
+    workload: Workload,
+    capacities: Sequence[int] = ENGINE_CAPACITIES,
+    window: int = ENGINE_WINDOW,
+) -> Dict:
+    """HOSE vs CASE storage pressure for one workload, per capacity."""
+    sequential = run_program(workload.program, model_latency=False)
+    entry: Dict = {
+        "family": workload.family,
+        "size": workload.size,
+        "statements": workload.statements,
+        "window": window,
+        "capacities": {},
+    }
+    # Labels do not depend on the buffer capacity; one shared cache
+    # labels the program once and every CASE run reuses the result.
+    analysis_cache = AnalysisCache()
+    for capacity in capacities:
+        row: Dict[str, Dict] = {}
+        for name, engine_cls in (("hose", HOSEEngine), ("case", CASEEngine)):
+            kwargs = {"window": window, "capacity": capacity}
+            if engine_cls is CASEEngine:
+                kwargs["cache"] = analysis_cache
+            result = engine_cls(workload.program, **kwargs).run()
+            matches = not sequential.memory.differences(
+                result.memory, tolerance=0.0
+            )
+            row[name] = _engine_row(result, matches)
+        row["case_vs_hose_commit_entries"] = (
+            row["case"]["commit_entries"] - row["hose"]["commit_entries"]
+        )
+        entry["capacities"][str(capacity)] = row
+    return entry
+
+
+def measure_engines(
+    size: int = ENGINE_SIZE,
+    statements: int = ENGINE_STATEMENTS,
+    families: Sequence[str] = FAMILIES,
+    capacities: Sequence[int] = ENGINE_CAPACITIES,
+    window: int = ENGINE_WINDOW,
+) -> Dict[str, Dict]:
+    """The whole scenario: every family, every capacity."""
+    return {
+        family: measure_engine_family(
+            generate(family, size, statements),
+            capacities=capacities,
+            window=window,
+        )
+        for family in families
+    }
+
+
+def verify_engines(
+    size: int = ENGINE_SMOKE_SIZE,
+    statements: int = 2,
+    families: Sequence[str] = FAMILIES,
+    windows: Sequence[int] = (1, ENGINE_WINDOW),
+    capacities: Sequence[Optional[int]] = (4, 64),
+) -> List[str]:
+    """Engine-equivalence check: HOSE/CASE final state vs sequential.
+
+    Returns a list of human-readable failure descriptions (empty =
+    everything bit-identical).  Used by ``python -m repro.bench
+    --verify-engines`` and the CI smoke step.
+    """
+    failures: List[str] = []
+    for family in families:
+        workload = generate(family, size, statements)
+        sequential = run_program(workload.program, model_latency=False)
+        analysis_cache = AnalysisCache()
+        for engine_cls in (HOSEEngine, CASEEngine):
+            for window in windows:
+                for capacity in capacities:
+                    kwargs = {"window": window, "capacity": capacity}
+                    if engine_cls is CASEEngine:
+                        kwargs["cache"] = analysis_cache
+                    result = engine_cls(workload.program, **kwargs).run()
+                    diffs = sequential.memory.differences(
+                        result.memory, tolerance=0.0
+                    )
+                    if diffs:
+                        sample = sorted(diffs.items())[:3]
+                        failures.append(
+                            f"{family}: {engine_cls.engine_name} "
+                            f"(window={window}, capacity={capacity}) diverges "
+                            f"from sequential at {len(diffs)} addresses, "
+                            f"e.g. {sample}"
+                        )
+    return failures

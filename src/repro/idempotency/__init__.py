@@ -8,9 +8,11 @@
 * :mod:`repro.idempotency.report` -- per-region and per-program
   reports: static and dynamic reference counts by idempotency category
   (the quantities plotted in Figures 5-9).
-* :mod:`repro.idempotency.conditions` -- a dynamic checker for the
-  labeling conditions LC1-LC3 over execution traces (used by the test
-  suite to validate labelings end to end).
+
+The labels are validated end to end by the speculative engines
+(:mod:`repro.runtime.engines`): the CASE engine routes idempotent
+references past speculative storage and must still produce final memory
+states bit-identical to the sequential interpreter.
 """
 
 from repro.idempotency.rfw import RFWResult, analyze_rfw

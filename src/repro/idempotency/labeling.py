@@ -125,10 +125,11 @@ def label_region(
 ) -> LabelingResult:
     """Run the full labeling pipeline (Algorithm 2) on one region.
 
-    ``live_out`` may be supplied directly; otherwise it is taken from the
-    region's declaration or computed from ``program`` context (and falls
-    back to "every written variable is live" when neither is available,
-    which is the conservative choice).
+    ``live_out`` may be supplied directly; otherwise an explicit
+    declaration on the region (``liveout`` in the DSL) takes precedence,
+    then liveness computed from ``program`` context, and finally the
+    conservative fallback "every written variable is live" when neither
+    is available.
 
     ``fast_path`` toggles the signature-bucketed dependence analysis
     (identical labels either way); a shared ``cache`` lets repeated
@@ -150,10 +151,14 @@ def label_region(
         summaries = summarize_region_segments(region, read_only_vars=read_only)
 
     if live_out is None:
-        if program is not None:
-            live_out = region_live_out(program, region)
-        elif region.live_out is not None:
+        # The declared set wins over anything derived from the program
+        # (region_live_out applies the same precedence internally; the
+        # explicit branch keeps the contract visible here and correct
+        # even without program context).
+        if region.live_out is not None:
             live_out = set(region.live_out)
+        elif program is not None:
+            live_out = region_live_out(program, region)
         else:
             live_out = {
                 ref.variable

@@ -57,16 +57,36 @@ class CategoryCounts:
             return 0.0
         return self.idempotent_total / self.total
 
-    def as_dict(self) -> Dict[str, float]:
-        """Fractions keyed by category name plus the idempotent total."""
+    def counts_dict(self) -> Dict[str, float]:
+        """Raw reference counts keyed by category name."""
+        return {
+            category.value: self.count(category)
+            for category in IdempotencyCategory
+            if self.count(category) > 0
+            or category is IdempotencyCategory.NOT_IDEMPOTENT
+        }
+
+    def fractions_dict(self) -> Dict[str, float]:
+        """Fractions keyed by category name plus the ``idempotent`` total."""
         out = {
             category.value: self.fraction(category)
             for category in IdempotencyCategory
-            if self.count(category) > 0 or category is IdempotencyCategory.NOT_IDEMPOTENT
+            if self.count(category) > 0
+            or category is IdempotencyCategory.NOT_IDEMPOTENT
         }
         out["idempotent"] = self.fraction_idempotent
-        out["total_references"] = self.total
         return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counts and fractions, kept apart.
+
+        ``fractions`` holds only values in [0, 1]; the raw reference
+        counts (including ``total_references``) live under ``counts`` so
+        consumers never mistake an absolute count for a fraction.
+        """
+        counts = self.counts_dict()
+        counts["total_references"] = self.total
+        return {"counts": counts, "fractions": self.fractions_dict()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(

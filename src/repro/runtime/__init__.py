@@ -13,10 +13,16 @@
 * :mod:`repro.runtime.interpreter` -- the sequential reference
   interpreter (ground truth for all correctness checks, and the source
   of dynamic reference counts), driving either execution path.
-
-The speculative substrates (per-segment speculative storage, the HOSE
-and CASE engines of Definitions 2 and 4) are future work tracked in
-ROADMAP.md; they will drive the same operation streams.
+* :mod:`repro.runtime.specstore` -- per-segment speculative storage:
+  bounded buffers keyed by address, with forwarding from older
+  in-flight segments, cross-segment violation detection against
+  segment age, commit and squash.
+* :mod:`repro.runtime.engines` -- the speculative engines driving the
+  same operation streams: :class:`HOSEEngine` (Definition 2, every
+  reference through speculative storage) and :class:`CASEEngine`
+  (Definition 4, idempotent references bypass it using the labels of
+  Algorithm 2).  Both produce final memory states bit-identical to the
+  sequential interpreter.
 """
 
 from repro.runtime.errors import AddressError, SimulationError
@@ -26,6 +32,14 @@ from repro.runtime.interpreter import (
     SequentialResult,
     run_program,
 )
+from repro.runtime.engines import (
+    CASEEngine,
+    HOSEEngine,
+    SpeculativeEngine,
+    SpeculativeResult,
+    run_speculative,
+)
+from repro.runtime.specstore import SegmentBuffer, SpeculativeStore, SpecStoreError
 from repro.runtime.stats import ExecutionStats
 from repro.runtime.trace import (
     SegmentTrace,
@@ -37,17 +51,25 @@ from repro.runtime.trace import (
 
 __all__ = [
     "AddressError",
+    "CASEEngine",
     "ExecutionStats",
+    "HOSEEngine",
     "MemoryHierarchy",
     "MemoryImage",
     "MemoryLatencies",
+    "SegmentBuffer",
     "SegmentTrace",
     "SequentialInterpreter",
     "SequentialResult",
     "SimulationError",
+    "SpecStoreError",
+    "SpeculativeEngine",
+    "SpeculativeResult",
+    "SpeculativeStore",
     "TraceError",
     "record_trace",
     "replay_segment",
     "run_program",
+    "run_speculative",
     "trace_eligibility",
 ]

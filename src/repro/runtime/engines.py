@@ -1,0 +1,733 @@
+"""Speculative execution engines: HOSE and CASE (Definitions 2 and 4).
+
+Both engines execute a whole :class:`~repro.ir.program.Program` with a
+window of in-flight segments per region, driving the *same* operation
+streams the sequential interpreter drives (the coroutines of
+:mod:`repro.runtime.executor`).  The init section, region entry code
+(loop bounds) and finale run non-speculatively, exactly as in
+:class:`~repro.runtime.interpreter.SequentialInterpreter`; inside a
+region up to ``window`` segments execute concurrently (simulated by
+age-ordered round-robin, one operation per segment per round) on top of
+the :mod:`~repro.runtime.specstore` substrate:
+
+* a speculative read is served by the segment's own buffer, then by the
+  nearest older in-flight buffer (forwarding), then by conventional
+  memory -- and is *tracked* so a later write by an older segment can
+  detect the violation;
+* a speculative write is buffered; every write (buffered or direct)
+  rolls back all segments younger than the oldest violating reader;
+* a buffer that would exceed its capacity stalls the segment; once the
+  stalled segment is the oldest it drains its buffer to memory and
+  finishes in write-through mode (it is non-speculative from then on);
+* segments commit strictly in age order, which is what makes the final
+  memory state bit-identical to the sequential interpreter's: the
+  oldest segment always reads committed (sequential) state, and any
+  younger segment that consumed a stale value is squashed and
+  re-executed before it can commit.
+
+The two engines differ only in *routing*:
+
+:class:`HOSEEngine` (Definition 2)
+    The hardware-only engine.  Every memory reference of a speculative
+    segment goes through speculative storage.
+
+:class:`CASEEngine` (Definition 4)
+    The compiler-assisted engine.  References labeled ``IDEMPOTENT`` by
+    Algorithm 2 (:func:`repro.idempotency.labeling.label_region`) bypass
+    speculative storage: read-only, shared-dependent and
+    fully-independent references access conventional memory directly
+    (leaving no access information behind, per Theorems 1 and 2), and
+    references to privatizable variables are served from a per-segment
+    private frame that is flushed at commit.  Only the references that
+    stay ``SPECULATIVE`` occupy buffer entries, which is the paper's
+    headline effect: less speculative-storage pressure than HOSE for
+    the same program.
+
+Explicit regions additionally speculate on control flow (HOSE Property
+5): the in-flight window follows the *predicted* path (first successor
+of each segment); the actual successor is resolved when a segment
+commits, and a mispredicted path squashes every younger in-flight
+segment (``control_mispredictions``).
+
+Stats semantics: ``reads`` / ``writes`` / ``cycles`` /
+``reference_counts`` count **all executed work including rolled-back
+attempts** (``wasted_cycles`` isolates the rolled-back share);
+``speculative_accesses`` / ``idempotent_accesses`` /
+``private_accesses`` split the references by route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.program import Program
+from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
+from repro.ir.symbols import SymbolError
+from repro.ir.types import IdempotencyCategory, RefLabel
+from repro.runtime.errors import AddressError, SimulationError
+from repro.runtime.executor import (
+    ComputeOp,
+    ReadOp,
+    SegmentCoroutine,
+    WriteOp,
+    evaluate_expression,
+    segment_coroutine,
+)
+from repro.runtime.interpreter import MAX_EXPLICIT_STEPS
+from repro.runtime.memory import (
+    Address,
+    MemoryHierarchy,
+    MemoryImage,
+    MemoryLatencies,
+)
+from repro.runtime.specstore import SegmentBuffer, SpeculativeStore
+from repro.runtime.stats import ExecutionStats
+
+#: Reference routes (how an engine serves one static reference).
+ROUTE_SPECULATIVE = "speculative"
+ROUTE_DIRECT = "direct"
+ROUTE_PRIVATE = "private"
+
+
+@dataclass
+class SpeculativeResult:
+    """Outcome of one speculative execution."""
+
+    program: str
+    engine: str
+    memory: MemoryImage
+    stats: ExecutionStats
+    window: int
+    capacity: Optional[int]
+    #: Speculative-storage occupancy high-water marks (all buffers /
+    #: one buffer) -- the HOSE vs CASE comparison quantities.
+    spec_peak_entries: int = 0
+    spec_peak_segment_entries: int = 0
+    #: Region name -> labeling used for routing (CASE only).
+    labeling: Dict[str, object] = field(default_factory=dict)
+
+    def value_of(self, variable: str, subscripts=()) -> float:
+        """Convenience read of the final memory state."""
+        return self.memory.read(variable, subscripts)
+
+
+class _SegmentTask:
+    """One in-flight segment occurrence: coroutine + speculative state."""
+
+    __slots__ = (
+        "key",
+        "segment_name",
+        "age",
+        "spawn",
+        "coroutine",
+        "current_op",
+        "pending_value",
+        "done",
+        "stalled",
+        "write_through",
+        "buffer",
+        "private",
+        "cycles",
+    )
+
+    def __init__(
+        self,
+        key: Tuple,
+        segment_name: Optional[str],
+        age: int,
+        spawn: Callable[[], SegmentCoroutine],
+        buffer: SegmentBuffer,
+    ):
+        self.key = key
+        self.segment_name = segment_name
+        self.age = age
+        self.spawn = spawn
+        self.coroutine = spawn()
+        #: Operation yielded but not yet completed (overflow retry point).
+        self.current_op = None
+        #: Value to send into the coroutine for the next operation.
+        self.pending_value: Optional[float] = None
+        self.done = False
+        self.stalled = False
+        #: True once an overflowed segment, as the oldest, drained its
+        #: buffer and continues non-speculatively.
+        self.write_through = False
+        self.buffer: Optional[SegmentBuffer] = buffer
+        #: Private frame for references routed ROUTE_PRIVATE (CASE).
+        self.private: Dict[Address, float] = {}
+        #: Cycles of the current attempt (moved to wasted_cycles on squash).
+        self.cycles = 0
+
+
+class SpeculativeEngine:
+    """Common scheduler of the speculative engines.
+
+    Subclasses choose the reference routing via :meth:`_routes_for`;
+    this base class routes everything through speculative storage
+    (i.e. behaves as HOSE).
+    """
+
+    engine_name = "speculative"
+
+    def __init__(
+        self,
+        program: Program,
+        window: int = 4,
+        capacity: Optional[int] = 64,
+        op_budget: Optional[int] = None,
+        model_latency: bool = False,
+        latencies: Optional[MemoryLatencies] = None,
+    ):
+        self.program = program
+        self.window = max(1, int(window))
+        self.capacity = capacity
+        self.op_budget = op_budget
+        self.store = SpeculativeStore(capacity=capacity)
+        self.hierarchy: Optional[MemoryHierarchy] = (
+            MemoryHierarchy(latencies=latencies, processors=self.window)
+            if model_latency
+            else None
+        )
+        self._age = 0
+        #: uid -> route for the region currently executing.
+        self._routes: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # routing (the only thing HOSE and CASE disagree on)
+    # ------------------------------------------------------------------
+    def _routes_for(
+        self, region: Region, result: SpeculativeResult
+    ) -> Dict[str, str]:
+        """Per-reference routes for ``region``; absent uid = speculative."""
+        return {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> SpeculativeResult:
+        """Execute the whole program speculatively; final state + stats."""
+        memory = MemoryImage(self.program.symbols)
+        stats = ExecutionStats()
+        result = SpeculativeResult(
+            program=self.program.name,
+            engine=self.engine_name,
+            memory=memory,
+            stats=stats,
+            window=self.window,
+            capacity=self.capacity,
+        )
+        self._drive_direct(
+            segment_coroutine(self.program.init, op_budget=self.op_budget),
+            memory,
+            stats,
+        )
+        for region in self.program.regions:
+            self._routes = self._routes_for(region, result)
+            if isinstance(region, LoopRegion):
+                self._run_loop_region(region, memory, stats)
+            elif isinstance(region, ExplicitRegion):
+                self._run_explicit_region(region, memory, stats)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"unknown region type {type(region).__name__}"
+                )
+        self._drive_direct(
+            segment_coroutine(self.program.finale, op_budget=self.op_budget),
+            memory,
+            stats,
+        )
+        result.spec_peak_entries = self.store.peak_entries
+        result.spec_peak_segment_entries = self.store.peak_segment_entries
+        return result
+
+    # ------------------------------------------------------------------
+    # non-speculative sections (init / finale)
+    # ------------------------------------------------------------------
+    def _drive_direct(
+        self,
+        coroutine: SegmentCoroutine,
+        memory: MemoryImage,
+        stats: ExecutionStats,
+    ) -> None:
+        """Run a coroutine straight against conventional memory."""
+        access_latency = (
+            self.hierarchy.access_latency if self.hierarchy is not None else None
+        )
+        try:
+            op = coroutine.send(None)
+            while True:
+                cls = type(op)
+                if cls is ReadOp:
+                    address = memory.address_of(op.variable, op.subscripts)
+                    value = memory.load(address)
+                    stats.reads += 1
+                    if op.ref is not None:
+                        stats.count_reference(op.ref.uid)
+                    if access_latency is not None:
+                        stats.cycles += access_latency(address)
+                    op = coroutine.send(value)
+                elif cls is WriteOp:
+                    address = memory.address_of(op.variable, op.subscripts)
+                    memory.store(address, op.value)
+                    stats.writes += 1
+                    if op.ref is not None:
+                        stats.count_reference(op.ref.uid)
+                    if access_latency is not None:
+                        stats.cycles += access_latency(address)
+                    op = coroutine.send(None)
+                else:  # ComputeOp
+                    stats.cycles += op.cycles
+                    op = coroutine.send(None)
+        except StopIteration:
+            return
+        except SymbolError as exc:
+            raise AddressError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+    def _start_task(
+        self,
+        key: Tuple,
+        segment_name: Optional[str],
+        spawn: Callable[[], SegmentCoroutine],
+        stats: ExecutionStats,
+    ) -> _SegmentTask:
+        self._age += 1
+        buffer = self.store.open_segment(key, self._age)
+        task = _SegmentTask(key, segment_name, self._age, spawn, buffer)
+        stats.segments_started += 1
+        return task
+
+    def _restart(self, task: _SegmentTask, stats: ExecutionStats) -> None:
+        """Roll a violated segment back and re-execute it from scratch."""
+        stats.rollbacks += 1
+        stats.wasted_cycles += task.cycles
+        task.cycles = 0
+        if task.buffer is not None:
+            self.store.squash(task.buffer)
+        task.private.clear()
+        task.coroutine.close()
+        task.coroutine = task.spawn()
+        task.current_op = None
+        task.pending_value = None
+        task.done = False
+        task.stalled = False
+        stats.segments_started += 1
+
+    def _discard(self, task: _SegmentTask, stats: ExecutionStats) -> None:
+        """Throw a wrong-path segment away (control misprediction)."""
+        stats.rollbacks += 1
+        stats.wasted_cycles += task.cycles
+        if task.buffer is not None:
+            self.store.abandon(task.buffer)
+            task.buffer = None
+        task.coroutine.close()
+
+    def _stall(self, task: _SegmentTask, stats: ExecutionStats) -> None:
+        if not task.stalled:
+            task.stalled = True
+            stats.overflow_stalls += 1
+
+    def _unstall_oldest(
+        self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
+    ) -> None:
+        """Drain the overflowed oldest segment; it finishes write-through.
+
+        As the oldest in-flight segment it is no longer speculative, so
+        its buffered values can safely become architecturally visible
+        early and the rest of the segment writes through.
+        """
+        # Every tracked entry (write values and read access info) is
+        # flushed early; only the write values reach memory.
+        stats.overflow_entries += task.buffer.entries
+        stats.commit_entries += self.store.commit(task.buffer, memory)
+        task.buffer = None
+        task.write_through = True
+        task.stalled = False
+
+    def _commit_task(
+        self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
+    ) -> None:
+        """Commit the finished oldest segment in age order."""
+        if task.buffer is not None:
+            stats.commit_entries += self.store.commit(task.buffer, memory)
+            task.buffer = None
+        for address, value in task.private.items():
+            memory.store(address, value)
+        stats.segments_committed += 1
+
+    # ------------------------------------------------------------------
+    # violation detection
+    # ------------------------------------------------------------------
+    def _check_violations(
+        self,
+        writer: _SegmentTask,
+        address: Address,
+        active: List[_SegmentTask],
+        stats: ExecutionStats,
+    ) -> None:
+        """Roll back younger segments that consumed a now-stale value."""
+        violators = self.store.violators(writer.age, address)
+        if not violators:
+            return
+        stats.violations += len(violators)
+        oldest_violator = min(buffer.age for buffer in violators)
+        for task in active:
+            # Everything younger than the oldest violator restarts: the
+            # violator itself consumed the stale value, and segments
+            # younger still may have consumed the violator's results
+            # through forwarding.
+            if task.age >= oldest_violator:
+                self._restart(task, stats)
+
+    # ------------------------------------------------------------------
+    # one simulated operation of one segment
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        task: _SegmentTask,
+        memory: MemoryImage,
+        stats: ExecutionStats,
+        active: List[_SegmentTask],
+    ) -> None:
+        if task.current_op is None:
+            try:
+                task.current_op = task.coroutine.send(task.pending_value)
+            except StopIteration:
+                task.done = True
+                return
+            task.pending_value = None
+        op = task.current_op
+        cls = type(op)
+        if cls is ComputeOp:
+            task.cycles += op.cycles
+            stats.cycles += op.cycles
+            task.current_op = None
+            return
+        try:
+            address = memory.address_of(op.variable, op.subscripts)
+        except SymbolError as exc:  # pragma: no cover - defensive
+            raise AddressError(str(exc)) from exc
+        ref = op.ref
+        route = (
+            self._routes.get(ref.uid, ROUTE_SPECULATIVE)
+            if ref is not None
+            else ROUTE_SPECULATIVE
+        )
+        if cls is ReadOp:
+            if route is ROUTE_PRIVATE:
+                value = task.private.get(address)
+                if value is None:
+                    value = memory.load(address)
+                stats.private_accesses += 1
+            elif route is ROUTE_DIRECT:
+                value = memory.load(address)
+                stats.idempotent_accesses += 1
+            elif task.write_through:
+                value = memory.load(address)
+                stats.speculative_accesses += 1
+            else:
+                buffer = task.buffer
+                if buffer.holds(address):
+                    value = buffer.values[address]
+                else:
+                    if not self.store.record_read(buffer, address):
+                        self._stall(task, stats)
+                        return
+                    value = self.store.forward(buffer, address)
+                    if value is None:
+                        value = memory.load(address)
+                stats.speculative_accesses += 1
+            stats.reads += 1
+            if ref is not None:
+                stats.count_reference(ref.uid)
+            if self.hierarchy is not None:
+                latency = self.hierarchy.access_latency(
+                    address, processor=task.age % self.window
+                )
+                task.cycles += latency
+                stats.cycles += latency
+            task.pending_value = value
+            task.current_op = None
+            return
+        # WriteOp
+        if route is ROUTE_PRIVATE:
+            task.private[address] = float(op.value)
+            stats.private_accesses += 1
+        elif route is ROUTE_DIRECT or task.write_through:
+            memory.store(address, op.value)
+            if route is ROUTE_DIRECT:
+                stats.idempotent_accesses += 1
+            else:
+                stats.speculative_accesses += 1
+            self._check_violations(task, address, active, stats)
+        else:
+            buffer = task.buffer
+            if not self.store.record_write(buffer, address, op.value):
+                self._stall(task, stats)
+                return
+            stats.speculative_accesses += 1
+            self._check_violations(task, address, active, stats)
+        stats.writes += 1
+        if ref is not None:
+            stats.count_reference(ref.uid)
+        if self.hierarchy is not None:
+            latency = self.hierarchy.access_latency(
+                address, processor=task.age % self.window
+            )
+            task.cycles += latency
+            stats.cycles += latency
+        task.pending_value = None
+        task.current_op = None
+
+    def _round(
+        self,
+        active: List[_SegmentTask],
+        memory: MemoryImage,
+        stats: ExecutionStats,
+    ) -> None:
+        """One scheduling round: each runnable segment executes one op."""
+        for task in list(active):
+            if task.done:
+                continue
+            if task.stalled:
+                if active and task is active[0]:
+                    self._unstall_oldest(task, memory, stats)
+                else:
+                    continue
+            self._step(task, memory, stats, active)
+
+    # ------------------------------------------------------------------
+    # loop regions
+    # ------------------------------------------------------------------
+    def _run_loop_region(
+        self, region: LoopRegion, memory: MemoryImage, stats: ExecutionStats
+    ) -> None:
+        reader = memory.read
+        lower = int(round(evaluate_expression(region.lower, reader)))
+        upper = int(round(evaluate_expression(region.upper, reader)))
+        step = int(round(evaluate_expression(region.step, reader)))
+        if step == 0:
+            raise SimulationError(f"region {region.name!r} has zero step")
+
+        def iteration_values():
+            value = lower
+            while (step > 0 and value <= upper) or (step < 0 and value >= upper):
+                yield value
+                value += step
+
+        values = iteration_values()
+        body = region.body
+        index = region.index
+        op_budget = self.op_budget
+
+        def spawn_for(value: int) -> Callable[[], SegmentCoroutine]:
+            return lambda: segment_coroutine(
+                body, locals_in_scope={index: value}, op_budget=op_budget
+            )
+
+        active: List[_SegmentTask] = []
+
+        def refill() -> None:
+            while len(active) < self.window:
+                value = next(values, None)
+                if value is None:
+                    return
+                active.append(
+                    self._start_task(
+                        (region.name, value), None, spawn_for(value), stats
+                    )
+                )
+
+        refill()
+        while active:
+            self._round(active, memory, stats)
+            while active and active[0].done:
+                self._commit_task(active.pop(0), memory, stats)
+                refill()
+
+    # ------------------------------------------------------------------
+    # explicit regions (control speculation)
+    # ------------------------------------------------------------------
+    def _run_explicit_region(
+        self, region: ExplicitRegion, memory: MemoryImage, stats: ExecutionStats
+    ) -> None:
+        edges = region.segment_edges()
+        op_budget = self.op_budget
+
+        def spawn_for(segment_name: str) -> Callable[[], SegmentCoroutine]:
+            body = region.segment(segment_name).body
+            return lambda: segment_coroutine(body, op_budget=op_budget)
+
+        def predicted_successor(segment_name: str) -> Optional[str]:
+            """First-successor prediction; None when the path exits."""
+            successors = edges.get(segment_name, [])
+            if not successors or successors[0] == EXIT_NODE:
+                return None
+            return successors[0]
+
+        active: List[_SegmentTask] = []
+        occurrence = 0
+        #: Next segment on the predicted path (None = predicted exit).
+        fill_from: Optional[str] = region.entry
+        committed = 0
+
+        def refill() -> None:
+            nonlocal fill_from, occurrence
+            while len(active) < self.window and fill_from is not None:
+                name = fill_from
+                occurrence += 1
+                active.append(
+                    self._start_task(
+                        (region.name, name, occurrence),
+                        name,
+                        spawn_for(name),
+                        stats,
+                    )
+                )
+                fill_from = predicted_successor(name)
+
+        refill()
+        while active:
+            self._round(active, memory, stats)
+            while active and active[0].done:
+                task = active.pop(0)
+                self._commit_task(task, memory, stats)
+                committed += 1
+                if committed > MAX_EXPLICIT_STEPS:
+                    raise SimulationError(
+                        f"explicit region {region.name!r} exceeded "
+                        f"{MAX_EXPLICIT_STEPS} segment executions"
+                    )
+                # Resolve the actual successor against committed state,
+                # exactly as the sequential interpreter does.
+                successors = edges.get(task.segment_name, [])
+                if not successors:
+                    actual: Optional[str] = None
+                else:
+                    segment = region.segment(task.segment_name)
+                    if len(successors) > 1 and segment.branch is not None:
+                        taken = evaluate_expression(segment.branch, memory.read)
+                        actual = successors[0] if taken else successors[1]
+                    else:
+                        actual = successors[0]
+                    if actual == EXIT_NODE:
+                        actual = None
+                # The predicted next segment is the head of the remaining
+                # in-flight window, or -- when the window drained -- the
+                # segment the prediction would spawn next.
+                predicted = active[0].segment_name if active else fill_from
+                if actual == predicted:
+                    refill()
+                    continue
+                # Control misprediction: the speculated path is wrong.
+                # (An empty window means nothing was executed down the
+                # wrong path, so nothing counts as mispredicted.)
+                if active:
+                    stats.control_mispredictions += 1
+                    for wrong in active:
+                        self._discard(wrong, stats)
+                    active.clear()
+                fill_from = actual
+                refill()
+
+
+def _has_cycle(region: ExplicitRegion) -> bool:
+    """True when the region's segment graph contains a cycle."""
+    from repro.analysis.cfg import SegmentGraph
+
+    graph = SegmentGraph.from_region(region)
+    return any(
+        node in graph.reachable_from(node) for node in graph.real_nodes()
+    )
+
+
+class HOSEEngine(SpeculativeEngine):
+    """Hardware-only speculative engine (Definition 2).
+
+    Every memory reference of a speculative segment is tracked in
+    speculative storage -- the baseline the paper's CASE is measured
+    against.
+    """
+
+    engine_name = "hose"
+
+
+class CASEEngine(SpeculativeEngine):
+    """Compiler-assisted speculative engine (Definition 4).
+
+    Consumes the labels of Algorithm 2: ``IDEMPOTENT`` references
+    bypass speculative storage (conventional memory for read-only /
+    shared-dependent / fully-independent references, a per-segment
+    private frame for privatizable variables); only ``SPECULATIVE``
+    references occupy buffer entries.
+    """
+
+    engine_name = "case"
+
+    def __init__(
+        self,
+        program: Program,
+        labeling: Optional[Dict[str, object]] = None,
+        cache=None,
+        **kwargs,
+    ):
+        super().__init__(program, **kwargs)
+        #: Region name -> LabelingResult; computed on demand when absent.
+        self._labeling_in = labeling
+        if cache is None:
+            from repro.analysis.cache import AnalysisCache
+
+            cache = AnalysisCache()
+        self._cache = cache
+
+    def _routes_for(
+        self, region: Region, result: SpeculativeResult
+    ) -> Dict[str, str]:
+        if isinstance(region, ExplicitRegion) and _has_cycle(region):
+            # Algorithm 2 models each explicit segment as executing at
+            # most once (the paper's Figure 2/3 graphs are acyclic); a
+            # cyclic graph re-executes segments and carries dependences
+            # between occurrences the labeling cannot see.  Fall back to
+            # fully speculative routing (HOSE behaviour) for safety.
+            return {}
+        labeling = None
+        if self._labeling_in is not None:
+            labeling = self._labeling_in.get(region.name)
+        if labeling is None:
+            from repro.idempotency.labeling import label_region
+
+            labeling = label_region(
+                region, program=self.program, cache=self._cache
+            )
+        result.labeling[region.name] = labeling
+        routes: Dict[str, str] = {}
+        for ref in region.references:
+            if labeling.label_of(ref) is not RefLabel.IDEMPOTENT:
+                continue
+            if labeling.category_of(ref) is IdempotencyCategory.PRIVATE:
+                routes[ref.uid] = ROUTE_PRIVATE
+            else:
+                routes[ref.uid] = ROUTE_DIRECT
+        return routes
+
+
+def run_speculative(
+    program: Program,
+    engine: str = "case",
+    window: int = 4,
+    capacity: Optional[int] = 64,
+    **kwargs,
+) -> SpeculativeResult:
+    """One-shot speculative execution of ``program``.
+
+    ``engine`` is ``"hose"`` or ``"case"``.
+    """
+    classes = {"hose": HOSEEngine, "case": CASEEngine}
+    try:
+        cls = classes[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; have {sorted(classes)}"
+        ) from None
+    return cls(program, window=window, capacity=capacity, **kwargs).run()

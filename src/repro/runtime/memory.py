@@ -109,9 +109,18 @@ class MemoryImage:
         }
 
     def differences(
-        self, other: "MemoryImage", variables: Optional[Iterable[str]] = None
+        self,
+        other: "MemoryImage",
+        variables: Optional[Iterable[str]] = None,
+        tolerance: float = 1e-9,
     ) -> Dict[Address, Tuple[float, float]]:
-        """Addresses whose values differ between ``self`` and ``other``."""
+        """Addresses whose values differ between ``self`` and ``other``.
+
+        ``tolerance`` is relative; pass ``0.0`` for exact (bit-level)
+        comparison -- the right setting when both executions perform
+        the identical float operations, as the speculative-engine
+        equivalence checks do.
+        """
         wanted = set(variables) if variables is not None else None
         addresses = set(self._values) | set(other._values)
         diffs: Dict[Address, Tuple[float, float]] = {}
@@ -119,8 +128,9 @@ class MemoryImage:
             if wanted is not None and addr[0] not in wanted:
                 continue
             a, b = self.load(addr), other.load(addr)
-            if a != b and not (_both_nan(a, b)) and abs(a - b) > 1e-9 * max(
-                1.0, abs(a), abs(b)
+            if a != b and not (_both_nan(a, b)) and (
+                tolerance == 0.0
+                or abs(a - b) > tolerance * max(1.0, abs(a), abs(b))
             ):
                 diffs[addr] = (a, b)
         return diffs

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
 
 @dataclass
@@ -17,7 +17,8 @@ class ExecutionStats:
     #: Dynamic reads / writes (totals).
     reads: int = 0
     writes: int = 0
-    #: References that went to speculative storage / bypassed it.
+    #: References that went to speculative storage / bypassed it / were
+    #: served from a private frame (the three routes of Definition 4).
     speculative_accesses: int = 0
     idempotent_accesses: int = 0
     private_accesses: int = 0
@@ -38,25 +39,13 @@ class ExecutionStats:
         self.reference_counts[uid] = self.reference_counts.get(uid, 0) + 1
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
-        """Combine two stats objects (cycles add; counters add)."""
+        """Combine two stats objects (cycles add; counters add).
+
+        The counter list is derived from the dataclass fields, so a new
+        engine counter is covered automatically.
+        """
         merged = ExecutionStats()
-        for name in (
-            "cycles",
-            "reads",
-            "writes",
-            "speculative_accesses",
-            "idempotent_accesses",
-            "private_accesses",
-            "violations",
-            "control_mispredictions",
-            "rollbacks",
-            "segments_started",
-            "segments_committed",
-            "overflow_stalls",
-            "overflow_entries",
-            "commit_entries",
-            "wasted_cycles",
-        ):
+        for name in scalar_counter_names():
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         merged.reference_counts = dict(self.reference_counts)
         for uid, count in other.reference_counts.items():
@@ -65,20 +54,23 @@ class ExecutionStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Scalar counters as a plain dict (reference counts omitted)."""
-        return {
-            "cycles": self.cycles,
-            "reads": self.reads,
-            "writes": self.writes,
-            "speculative_accesses": self.speculative_accesses,
-            "idempotent_accesses": self.idempotent_accesses,
-            "private_accesses": self.private_accesses,
-            "violations": self.violations,
-            "control_mispredictions": self.control_mispredictions,
-            "rollbacks": self.rollbacks,
-            "segments_started": self.segments_started,
-            "segments_committed": self.segments_committed,
-            "overflow_stalls": self.overflow_stalls,
-            "overflow_entries": self.overflow_entries,
-            "commit_entries": self.commit_entries,
-            "wasted_cycles": self.wasted_cycles,
-        }
+        return {name: getattr(self, name) for name in scalar_counter_names()}
+
+
+def scalar_counter_names() -> Tuple[str, ...]:
+    """All scalar counter fields of :class:`ExecutionStats`.
+
+    Every field except the ``reference_counts`` mapping; both
+    :meth:`ExecutionStats.merge` and :meth:`ExecutionStats.as_dict`
+    iterate this list so the two can never drift apart (or silently
+    drop a newly added counter).
+    """
+    global _SCALAR_COUNTERS
+    if _SCALAR_COUNTERS is None:
+        _SCALAR_COUNTERS = tuple(
+            f.name for f in fields(ExecutionStats) if f.name != "reference_counts"
+        )
+    return _SCALAR_COUNTERS
+
+
+_SCALAR_COUNTERS: "Tuple[str, ...] | None" = None

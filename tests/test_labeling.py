@@ -1,0 +1,530 @@
+"""Idempotency analysis tests: Algorithm 1 (RFW), Algorithm 2
+(Theorems 1 and 2), the live-out precedence contract and the report
+aggregation -- including the Figure 2 walk-through over an explicit
+segment graph."""
+
+import pytest
+
+from repro.idempotency.labeling import label_region
+from repro.idempotency.report import (
+    CategoryCounts,
+    count_dynamic_references,
+    count_static_references,
+    merge_counts,
+)
+from repro.idempotency.rfw import analyze_rfw
+from repro.ir.dsl import parse_program
+from repro.ir.types import (
+    AccessType,
+    IdempotencyCategory,
+    NodeColor,
+    NodeMark,
+    RefLabel,
+)
+from repro.runtime.interpreter import run_program
+
+
+def refs_of(region, variable, access=None):
+    out = [r for r in region.references if r.variable == variable]
+    if access is not None:
+        out = [r for r in out if r.access is access]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 2 walk-through: explicit segment chain R1 -> R2 -> R3 -> R4.
+#
+#   R1: x = a + 1       (scalar write of x, no exposed read)
+#       k(c(1)) = a     (array write through a subscripted subscript)
+#   R2: b = x * 2       (exposed read of x, scalar write of b)
+#   R3: x = b + c(2)    (exposed read of b, scalar write of x)
+#   R4: b = x + a       (exposed read of x, scalar write of b)
+#
+# liveout x, b.  `a` and `c` are read-only; `k` is written, never read
+# and not live-out.
+# ----------------------------------------------------------------------
+FIG2_SRC = """
+program fig2
+  real a = 2.0, b, c(4) = 0.5, x
+  real k(8)
+  region FIG2 explicit
+    segment R1
+      x = a + 1
+      k(c(1)) = a
+    end segment
+    segment R2
+      b = x * 2
+    end segment
+    segment R3
+      x = b + c(2)
+    end segment
+    segment R4
+      b = x + a
+    end segment
+    edges R1 -> R2
+    edges R2 -> R3
+    edges R3 -> R4
+    liveout x, b
+  end region
+end program
+"""
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    program = parse_program(FIG2_SRC)
+    region = program.regions[0]
+    return program, region, label_region(region, program=program)
+
+
+class TestFigure2WalkThrough:
+    def test_node_marks(self, fig2):
+        _, region, labeling = fig2
+        rfw = labeling.rfw
+        assert {s: rfw.mark_of("x", s) for s in region.segment_names()} == {
+            "R1": NodeMark.WRITE,
+            "R2": NodeMark.READ,
+            "R3": NodeMark.WRITE,
+            "R4": NodeMark.READ,
+        }
+        assert {s: rfw.mark_of("b", s) for s in region.segment_names()} == {
+            "R1": NodeMark.NULL,
+            "R2": NodeMark.WRITE,
+            "R3": NodeMark.READ,
+            "R4": NodeMark.WRITE,
+        }
+
+    def test_coloring_danger_propagation(self, fig2):
+        _, region, labeling = fig2
+        rfw = labeling.rfw
+        # x: R2's exposed read endangers everything R1 speculated past;
+        # only R1 itself stays White.
+        assert {s: rfw.color_of("x", s) for s in region.segment_names()} == {
+            "R1": NodeColor.WHITE,
+            "R2": NodeColor.BLACK,
+            "R3": NodeColor.BLACK,
+            "R4": NodeColor.BLACK,
+        }
+        # b: danger starts at R3's exposed read, so R1 and R2 stay White.
+        assert {s: rfw.color_of("b", s) for s in region.segment_names()} == {
+            "R1": NodeColor.WHITE,
+            "R2": NodeColor.WHITE,
+            "R3": NodeColor.BLACK,
+            "R4": NodeColor.BLACK,
+        }
+
+    def test_rfw_sets(self, fig2):
+        _, region, labeling = fig2
+        rfw = labeling.rfw
+        assert rfw.rfw_set("R1") == {"x"}
+        assert rfw.rfw_set("R2") == {"b"}
+        assert rfw.rfw_set("R3") == set()
+        assert rfw.rfw_set("R4") == set()
+
+    def test_subscripted_subscript_excluded_from_rfw(self, fig2):
+        # k(c(1)) in R1: White node, Write mark -- but the address is
+        # not statically deterministic, so it is not an RFW (the paper's
+        # same-address requirement for K(E) in Figure 2).
+        _, region, labeling = fig2
+        rfw = labeling.rfw
+        assert rfw.mark_of("k", "R1") is NodeMark.WRITE
+        assert rfw.color_of("k", "R1") is NodeColor.WHITE
+        assert "k" not in rfw.rfw_set("R1")
+        (k_write,) = refs_of(region, "k", AccessType.WRITE)
+        assert not rfw.is_rfw(k_write)
+
+    def test_labels(self, fig2):
+        _, region, labeling = fig2
+        assert not labeling.fully_independent
+        assert labeling.read_only_vars == {"a", "c"}
+        by_uid = {
+            ref.uid.split(".", 1)[1]: labeling.label_of(ref)
+            for ref in region.references
+        }
+        # Theorem 1: R1's x write and R2's b write are RFW and sink no
+        # cross-segment dependence -> idempotent; R3's x write and R4's
+        # b write are Black -> speculative.
+        assert by_uid["R1.w1"] is RefLabel.IDEMPOTENT
+        assert by_uid["R2.w1"] is RefLabel.IDEMPOTENT
+        assert by_uid["R3.w2"] is RefLabel.SPECULATIVE
+        assert by_uid["R4.w2"] is RefLabel.SPECULATIVE
+        # Theorem 2: the exposed reads all sink cross-segment flow
+        # dependences -> speculative; read-only reads are idempotent.
+        assert by_uid["R2.r0"] is RefLabel.SPECULATIVE
+        assert by_uid["R3.r0"] is RefLabel.SPECULATIVE
+        assert by_uid["R4.r0"] is RefLabel.SPECULATIVE
+        for ref in region.references:
+            if ref.variable in ("a", "c"):
+                assert labeling.category_of(ref) is IdempotencyCategory.READ_ONLY
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 / Theorem 2 on loop regions.
+# ----------------------------------------------------------------------
+class TestTheorem1Writes:
+    def test_rfw_write_without_cross_sink_is_idempotent(self):
+        src = """
+program t1
+  real m(16), b(16) = 1.0, s
+  region R do k = 2, 16
+    m(k) = b(k) + 1
+    s = s + b(k)
+    liveout m, s
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        assert not labeling.fully_independent
+        (m_write,) = refs_of(region, "m", AccessType.WRITE)
+        assert labeling.rfw.is_rfw(m_write)
+        assert not labeling.dependences.is_cross_segment_sink(m_write)
+        assert labeling.label_of(m_write) is RefLabel.IDEMPOTENT
+        assert (
+            labeling.category_of(m_write)
+            is IdempotencyCategory.SHARED_DEPENDENT
+        )
+
+    def test_cross_segment_sink_write_stays_speculative(self):
+        src = """
+program t1b
+  real x(16), b(16) = 1.0
+  region R do k = 2, 16
+    x(k) = b(k) + 1
+    x(k-1) = b(k) * 2
+    liveout x
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        writes = refs_of(region, "x", AccessType.WRITE)
+        by_sub = {str(w.subscripts[0]): w for w in writes}
+        w_k = by_sub["k"]
+        w_km1 = by_sub["(k - 1)"]
+        # Both writes are RFWs (x is marked Write with deterministic
+        # addresses), but only the x(k-1) write sinks a cross-segment
+        # output dependence (the older segment's x(k) write hits the
+        # same element) -> Theorem 1 splits them.
+        assert labeling.rfw.is_rfw(w_k) and labeling.rfw.is_rfw(w_km1)
+        assert not labeling.dependences.is_cross_segment_sink(w_k)
+        assert labeling.dependences.is_cross_segment_sink(w_km1)
+        assert labeling.label_of(w_k) is RefLabel.IDEMPOTENT
+        assert labeling.label_of(w_km1) is RefLabel.SPECULATIVE
+
+
+class TestTheorem2Reads:
+    def test_read_covered_by_idempotent_write_is_idempotent(self):
+        src = """
+program t2
+  real a(16), b(16) = 1.0, c(16), s
+  region R do k = 2, 16
+    a(k) = b(k) + 1
+    c(k) = a(k) * 2
+    s = s + c(k-1)
+    liveout a, c, s
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        assert not labeling.fully_independent
+        (a_read,) = refs_of(region, "a", AccessType.READ)
+        (a_write,) = refs_of(region, "a", AccessType.WRITE)
+        # Every dependence sinking into the a(k) read is intra-segment
+        # with the (idempotent) a(k) write as source -> idempotent.
+        assert labeling.label_of(a_write) is RefLabel.IDEMPOTENT
+        assert labeling.label_of(a_read) is RefLabel.IDEMPOTENT
+
+    def test_inner_loop_carried_accumulation_read_is_speculative(self):
+        # Regression for the intra-segment direction bug: the first
+        # y(k) read is fed by the y(k) write of the *previous inner
+        # iteration* -- an intra-segment dependence against textual
+        # order.  Labeling it idempotent made the CASE engine read a
+        # stale value straight from memory.
+        src = """
+program t2b
+  real y(16), b(4) = 1.0
+  region R do k = 2, 16
+    do t = 1, 4
+      y(k) = y(k) + b(t) + 0.1 * y(k-1)
+    end do
+    liveout y
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        reads = refs_of(region, "y", AccessType.READ)
+        same_k_reads = [r for r in reads if str(r.subscripts[0]) == "k"]
+        assert same_k_reads, "expected a y(k) read"
+        for read in same_k_reads:
+            assert labeling.label_of(read) is RefLabel.SPECULATIVE
+
+    def test_written_scalar_in_subscript_voids_the_pin(self):
+        # Regression: `a(t + m)` with `m` decremented by the inner loop
+        # touches the SAME address every iteration (t + m is constant),
+        # so the write of iteration t feeds the read of iteration t+1
+        # even though t looks like a pinning index.  Only symbols that
+        # are invariant in the region may support the pinned-dimension
+        # refinement.
+        src = """
+program t2d
+  real a(16), m, s(16) = 1.0
+  region R do k = 2, 16
+    m = 3
+    do t = 1, 3
+      a(t + m) = a(t + m) + s(k)
+      m = m - 1
+    end do
+    liveout a, m
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        a_reads = refs_of(region, "a", AccessType.READ)
+        (a_write,) = refs_of(region, "a", AccessType.WRITE)
+        assert a_reads
+        flow_into_read = [
+            dep
+            for read in a_reads
+            for dep in labeling.dependences.deps_with_sink(read)
+            if dep.source is a_write and not dep.is_cross_segment
+        ]
+        assert flow_into_read, "inner-loop-carried flow dep must be emitted"
+        for read in a_reads:
+            assert labeling.label_of(read) is RefLabel.SPECULATIVE
+
+    def test_unreferenced_sink_free_read_is_idempotent(self):
+        src = """
+program t2c
+  real y(16) = 1.0, z(16), s
+  region R do k = 2, 16
+    z(k) = y(k) * 2
+    s = s + z(k-1)
+    liveout z, s
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        (y_read,) = refs_of(region, "y", AccessType.READ)
+        assert labeling.label_of(y_read) is RefLabel.IDEMPOTENT
+        assert labeling.category_of(y_read) is IdempotencyCategory.READ_ONLY
+
+
+class TestFullyIndependentAndPrivate:
+    def test_fully_independent_region_labels_everything(self):
+        src = """
+program ind
+  real a(8, 16) = 0.5, b(8) = 1.5, c(16)
+  region R do k = 1, 16
+    do i = 1, 8
+      c(k) = c(k) + a(i, k) * b(i)
+    end do
+    liveout c
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        assert labeling.fully_independent
+        assert labeling.static_fraction_idempotent() == 1.0
+        cats = labeling.counts_by_category()
+        assert IdempotencyCategory.NOT_IDEMPOTENT not in cats
+        assert cats.get(IdempotencyCategory.FULLY_INDEPENDENT, 0) > 0
+
+    def test_private_scalar_categorised(self):
+        src = """
+program priv
+  real a(16), b(16) = 1.0, s, t
+  region R do k = 2, 16
+    t = b(k) * 2
+    a(k) = t + 1
+    s = s + a(k-1)
+    liveout a, s
+  end region
+end program
+"""
+        program = parse_program(src)
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        assert "t" in labeling.private_vars
+        for ref in refs_of(region, "t"):
+            assert labeling.label_of(ref) is RefLabel.IDEMPOTENT
+            assert labeling.category_of(ref) is IdempotencyCategory.PRIVATE
+
+
+# ----------------------------------------------------------------------
+# Live-out precedence (regression).
+# ----------------------------------------------------------------------
+class TestLiveOutPrecedence:
+    SRC = """
+program lo
+  real a(16), b(16) = 1.0, s, u, checksum
+  region R do k = 2, 16
+    u = b(k) * 2
+    a(k) = u + 1
+    s = s + a(k-1)
+    liveout a
+  end region
+  finale
+    checksum = s + u + a(2)
+  end finale
+end program
+"""
+
+    def test_declared_live_out_beats_program_derived(self):
+        # The finale reads `s` and `u`, so program-derived liveness
+        # would say {a, s, u}; the explicit declaration `liveout a`
+        # must win.
+        program = parse_program(self.SRC)
+        region = program.regions[0]
+        assert region.live_out == {"a"}
+        labeling = label_region(region, program=program)
+        assert labeling.live_out == {"a"}
+        # With u dead after the region, u becomes privatizable and its
+        # references are labeled idempotent-private.
+        assert "u" in labeling.private_vars
+        for ref in refs_of(region, "u"):
+            assert labeling.category_of(ref) is IdempotencyCategory.PRIVATE
+
+    def test_explicit_argument_beats_declaration(self):
+        program = parse_program(self.SRC)
+        region = program.regions[0]
+        labeling = label_region(
+            region, program=program, live_out={"a", "s", "u"}
+        )
+        assert labeling.live_out == {"a", "s", "u"}
+        assert "u" not in labeling.private_vars
+
+    def test_program_context_used_without_declaration(self):
+        src = self.SRC.replace("    liveout a\n", "")
+        program = parse_program(src)
+        region = program.regions[0]
+        assert region.live_out is None
+        labeling = label_region(region, program=program)
+        assert {"a", "s", "u"} <= labeling.live_out
+        assert "u" not in labeling.private_vars
+
+
+# ----------------------------------------------------------------------
+# analyze_rfw entry points and the report aggregation.
+# ----------------------------------------------------------------------
+class TestAnalyzeRfwDiamond:
+    SRC = """
+program diamond
+  real p = 1.0, y, z, w
+  region D explicit
+    segment S0
+      p = p + 1
+      branch (p > 1.5)
+    end segment
+    segment S1
+      y = p * 2
+      z = 1.0
+    end segment
+    segment S2
+      z = 2.0
+    end segment
+    segment S3
+      w = y + z
+    end segment
+    edges S0 -> S1, S2
+    edges S1 -> S3
+    edges S2 -> S3
+    liveout w
+  end region
+end program
+"""
+
+    def test_path_sensitive_coloring(self):
+        program = parse_program(self.SRC)
+        region = program.regions[0]
+        rfw = analyze_rfw(region, {"w"})
+        # y is written only on the S1 path; the S2 path reaches S3's
+        # exposed read of y without rewriting it, so S0's successors are
+        # dangerous for y and every descendant of S0 is Black.
+        for segment in ("S1", "S2", "S3"):
+            assert rfw.color_of("y", segment) is NodeColor.BLACK
+        assert "y" not in rfw.rfw_set("S1")
+        # z is written on *both* paths before the exposed read, so the
+        # writes stay White and both are RFW.
+        assert rfw.color_of("z", "S1") is NodeColor.WHITE
+        assert rfw.color_of("z", "S2") is NodeColor.WHITE
+        assert rfw.rfw_set("S1") == {"z"}
+        assert rfw.rfw_set("S2") == {"z"}
+
+
+class TestReportCounts:
+    def make_labeling(self):
+        src = """
+program rep
+  real a(16), b(16) = 1.0, s
+  region R do k = 2, 16
+    a(k) = b(k) + 1
+    s = s + a(k-1)
+    liveout a, s
+  end region
+end program
+"""
+        program = parse_program(src)
+        return program, label_region(
+            program.regions[0], program=program
+        )
+
+    def test_static_counts_sum_to_reference_total(self):
+        program, labeling = self.make_labeling()
+        counts = count_static_references(labeling)
+        assert counts.total == len(labeling.region.references)
+        assert 0.0 < counts.fraction_idempotent < 1.0
+
+    def test_as_dict_separates_counts_from_fractions(self):
+        program, labeling = self.make_labeling()
+        payload = count_static_references(labeling).as_dict()
+        assert set(payload) == {"counts", "fractions"}
+        counts, fractions = payload["counts"], payload["fractions"]
+        assert counts["total_references"] == len(labeling.region.references)
+        # Every fraction is a true fraction; raw counts never leak in.
+        assert all(0.0 <= v <= 1.0 for v in fractions.values())
+        assert "total_references" not in fractions
+        assert fractions["idempotent"] == pytest.approx(
+            labeling.static_fraction_idempotent()
+        )
+        # Counts and fractions agree per category.
+        for key, count in counts.items():
+            if key == "total_references":
+                continue
+            assert fractions[key] == pytest.approx(
+                count / counts["total_references"]
+            )
+
+    def test_dynamic_counts_weighted_by_execution(self):
+        program, labeling = self.make_labeling()
+        result = run_program(program)
+        dynamic = count_dynamic_references(
+            labeling, result.stats.reference_counts
+        )
+        assert dynamic.total == sum(
+            result.stats.reference_counts.get(ref.uid, 0)
+            for ref in labeling.region.references
+        )
+
+    def test_merge_counts(self):
+        a = CategoryCounts()
+        a.add(IdempotencyCategory.READ_ONLY, 2)
+        b = CategoryCounts()
+        b.add(IdempotencyCategory.READ_ONLY, 3)
+        b.add(IdempotencyCategory.NOT_IDEMPOTENT, 1)
+        merged = merge_counts([a, b])
+        assert merged.count(IdempotencyCategory.READ_ONLY) == 5
+        assert merged.total == 6
+        assert merged.idempotent_total == 5

@@ -1,0 +1,160 @@
+"""Speculative-store unit tests: forwarding, capacity, violations,
+commit/squash lifecycle and occupancy tracking."""
+
+import pytest
+
+from repro.ir.symbols import SymbolTable
+from repro.runtime.memory import MemoryImage
+from repro.runtime.specstore import SpeculativeStore, SpecStoreError
+
+
+def make_memory(*scalars):
+    table = SymbolTable()
+    for name in scalars:
+        table.scalar(name)
+    return MemoryImage(table)
+
+
+class TestLifecycle:
+    def test_ages_must_increase(self):
+        store = SpeculativeStore()
+        store.open_segment(("R", 1), 1)
+        with pytest.raises(SpecStoreError):
+            store.open_segment(("R", 0), 1)
+
+    def test_commit_drains_values_to_memory(self):
+        store = SpeculativeStore()
+        memory = make_memory("a", "b")
+        buf = store.open_segment(("R", 1), 1)
+        assert store.record_write(buf, ("a", 0), 3.5)
+        assert store.record_write(buf, ("b", 0), 4.5)
+        assert store.record_write(buf, ("a", 0), 5.5)  # overwrite, same entry
+        assert buf.entries == 2
+        committed = store.commit(buf, memory)
+        assert committed == 2
+        assert memory.load(("a", 0)) == 5.5
+        assert memory.load(("b", 0)) == 4.5
+        assert len(store) == 0
+
+    def test_squash_clears_but_keeps_registration(self):
+        store = SpeculativeStore()
+        buf = store.open_segment(("R", 1), 1)
+        store.record_write(buf, ("a", 0), 1.0)
+        store.record_read(buf, ("b", 0))
+        discarded = store.squash(buf)
+        assert discarded == 2
+        assert buf.entries == 0
+        assert buf.squashes == 1
+        assert store.buffers() == [buf]
+
+    def test_abandon_removes_without_committing(self):
+        store = SpeculativeStore()
+        memory = make_memory("a")
+        buf = store.open_segment(("R", 1), 1)
+        store.record_write(buf, ("a", 0), 9.0)
+        store.abandon(buf)
+        assert len(store) == 0
+        assert memory.load(("a", 0)) == 0.0  # nothing leaked
+
+    def test_commit_of_unregistered_buffer_raises(self):
+        store = SpeculativeStore()
+        memory = make_memory("a")
+        buf = store.open_segment(("R", 1), 1)
+        store.commit(buf, memory)
+        with pytest.raises(SpecStoreError):
+            store.commit(buf, memory)
+
+
+class TestCapacity:
+    def test_allocation_refused_past_capacity(self):
+        store = SpeculativeStore(capacity=2)
+        buf = store.open_segment(("R", 1), 1)
+        assert store.record_write(buf, ("a", 0), 1.0)
+        assert store.record_read(buf, ("b", 0))
+        assert not store.record_write(buf, ("c", 0), 1.0)
+        assert not store.record_read(buf, ("d", 0))
+        # Already-tracked addresses never overflow.
+        assert store.record_write(buf, ("a", 0), 2.0)
+        assert store.record_read(buf, ("b", 0))
+
+    def test_capacity_is_per_segment(self):
+        store = SpeculativeStore(capacity=1)
+        b1 = store.open_segment(("R", 1), 1)
+        b2 = store.open_segment(("R", 2), 2)
+        assert store.record_write(b1, ("a", 0), 1.0)
+        assert store.record_write(b2, ("b", 0), 1.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeStore(capacity=0)
+
+    def test_unbounded_capacity(self):
+        store = SpeculativeStore(capacity=None)
+        buf = store.open_segment(("R", 1), 1)
+        for i in range(500):
+            assert store.record_write(buf, ("a", i), float(i))
+        assert buf.entries == 500
+
+
+class TestForwarding:
+    def test_nearest_older_writer_wins(self):
+        store = SpeculativeStore()
+        memory = make_memory("a")
+        old = store.open_segment(("R", 1), 1)
+        mid = store.open_segment(("R", 2), 2)
+        young = store.open_segment(("R", 3), 3)
+        store.record_write(old, ("a", 0), 1.0)
+        store.record_write(mid, ("a", 0), 2.0)
+        assert store.forward(young, ("a", 0)) == 2.0
+        # A buffer never forwards from itself or younger buffers.
+        assert store.forward(mid, ("a", 0)) == 1.0
+        assert store.forward(old, ("a", 0)) is None
+
+    def test_miss_everywhere_returns_none(self):
+        store = SpeculativeStore()
+        b1 = store.open_segment(("R", 1), 1)
+        b2 = store.open_segment(("R", 2), 2)
+        store.record_read(b1, ("a", 0))
+        assert store.forward(b2, ("a", 0)) is None
+
+
+class TestViolations:
+    def test_younger_readers_reported(self):
+        store = SpeculativeStore()
+        old = store.open_segment(("R", 1), 1)
+        mid = store.open_segment(("R", 2), 2)
+        young = store.open_segment(("R", 3), 3)
+        store.record_read(mid, ("a", 0))
+        store.record_read(young, ("a", 0))
+        store.record_read(old, ("a", 0))  # older reader: never a violator
+        violators = store.violators(1, ("a", 0))
+        assert violators == [mid, young]
+        assert store.violators(2, ("a", 0)) == [young]
+        assert store.violators(3, ("a", 0)) == []
+
+    def test_own_buffer_hits_are_not_violations(self):
+        store = SpeculativeStore()
+        old = store.open_segment(("R", 1), 1)
+        young = store.open_segment(("R", 2), 2)
+        store.record_write(young, ("a", 0), 2.0)
+        # Younger wrote but never performed an exposed read.
+        assert store.violators(1, ("a", 0)) == []
+        assert store.violators(1, ("b", 0)) == []
+        assert old.entries == 0
+
+
+class TestOccupancy:
+    def test_peaks_track_high_water_marks(self):
+        store = SpeculativeStore()
+        memory = make_memory("a", "b", "c")
+        b1 = store.open_segment(("R", 1), 1)
+        store.record_write(b1, ("a", 0), 1.0)
+        store.record_write(b1, ("b", 0), 1.0)
+        b2 = store.open_segment(("R", 2), 2)
+        store.record_read(b2, ("c", 0))
+        assert store.occupancy() == 3
+        assert store.peak_entries == 3
+        assert store.peak_segment_entries == 2
+        store.commit(b1, memory)
+        assert store.occupancy() == 1
+        assert store.peak_entries == 3  # peak persists after commit

@@ -1,0 +1,70 @@
+"""ExecutionStats: merge/as_dict must cover every counter.
+
+Regression for the hand-maintained field lists that silently dropped
+any newly added engine counter from merges and reports; both methods
+now derive the counter list from ``dataclasses.fields``.
+"""
+
+import dataclasses
+
+from repro.runtime.stats import ExecutionStats, scalar_counter_names
+
+
+def all_scalar_fields():
+    return [
+        f.name
+        for f in dataclasses.fields(ExecutionStats)
+        if f.name != "reference_counts"
+    ]
+
+
+class TestCounterCoverage:
+    def test_scalar_counter_names_match_dataclass_fields(self):
+        assert list(scalar_counter_names()) == all_scalar_fields()
+
+    def test_as_dict_covers_every_counter(self):
+        stats = ExecutionStats()
+        assert set(stats.as_dict()) == set(all_scalar_fields())
+
+    def test_merge_covers_every_counter(self):
+        fields = all_scalar_fields()
+        a = ExecutionStats()
+        b = ExecutionStats()
+        # Distinct nonzero values per field so a dropped counter is
+        # impossible to miss.
+        for i, name in enumerate(fields):
+            setattr(a, name, 10 + i)
+            setattr(b, name, 1000 + i)
+        merged = a.merge(b)
+        for i, name in enumerate(fields):
+            assert getattr(merged, name) == 1010 + 2 * i, name
+
+    def test_merge_is_not_in_place(self):
+        a = ExecutionStats(cycles=5)
+        b = ExecutionStats(cycles=7)
+        merged = a.merge(b)
+        assert merged.cycles == 12
+        assert a.cycles == 5 and b.cycles == 7
+
+    def test_merge_adds_reference_counts(self):
+        a = ExecutionStats()
+        b = ExecutionStats()
+        a.count_reference("r0")
+        a.count_reference("r0")
+        b.count_reference("r0")
+        b.count_reference("w1")
+        merged = a.merge(b)
+        assert merged.reference_counts == {"r0": 3, "w1": 1}
+        assert "reference_counts" not in merged.as_dict()
+
+    def test_speculation_counters_present(self):
+        # The engine counters the ISSUE names must exist and survive a
+        # merge round trip.
+        required = {
+            "violations",
+            "rollbacks",
+            "overflow_stalls",
+            "commit_entries",
+            "wasted_cycles",
+        }
+        assert required <= set(scalar_counter_names())
