@@ -7,8 +7,12 @@
 * :mod:`repro.bench.engines` -- the HOSE vs CASE speculative-storage
   scenario: pressure metrics across buffer capacities, each run checked
   bit-for-bit against the sequential interpreter.
+* :mod:`repro.bench.speedup` -- the multiprocessor timing scenario:
+  HOSE/CASE makespans and speedup-vs-sequential across processors x
+  window x capacity, on the :mod:`repro.timing` cost model.
 * ``python -m repro.bench`` -- CLI entry point writing
-  ``BENCH_results.json`` (see :mod:`repro.bench.__main__`).
+  ``BENCH_results.json`` (see :mod:`repro.bench.__main__`;
+  ``--scenarios`` / ``--list-scenarios`` select scenarios).
 """
 
 from repro.bench.engines import (
@@ -16,6 +20,14 @@ from repro.bench.engines import (
     measure_engine_family,
     measure_engines,
     verify_engines,
+)
+from repro.bench.speedup import (
+    SPEEDUP_CAPACITIES,
+    SPEEDUP_PROCESSORS,
+    SPEEDUP_WINDOWS,
+    check_embarrassing_speedup,
+    measure_speedup_family,
+    measure_speedups,
 )
 from repro.bench.harness import FamilyResult, Measurement, geometric_mean, measure_family
 from repro.bench.workloads import (
@@ -34,12 +46,18 @@ __all__ = [
     "FAMILIES",
     "FamilyResult",
     "Measurement",
+    "SPEEDUP_CAPACITIES",
+    "SPEEDUP_PROCESSORS",
+    "SPEEDUP_WINDOWS",
     "Workload",
+    "check_embarrassing_speedup",
     "generate",
     "generate_suite",
     "geometric_mean",
     "measure_engine_family",
     "measure_engines",
     "measure_family",
+    "measure_speedup_family",
+    "measure_speedups",
     "verify_engines",
 ]

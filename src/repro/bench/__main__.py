@@ -1,21 +1,29 @@
 """Benchmark entry point: ``python -m repro.bench``.
 
-Measures analyze-throughput (references classified per second) and
-simulate-throughput (memory operations per second) for every workload
-family, on the fast path (signature-bucketed analysis + trace
-record-and-replay execution) and on the baseline path (the original
-pair-by-pair analysis and coroutine interpreter), and writes
-``BENCH_results.json``.
+Three scenarios, all selected by default (``--scenarios`` narrows the
+run, ``--list-scenarios`` enumerates them):
 
-The speculative-engine scenario (HOSE vs CASE speculative-storage
-pressure across buffer capacities, every run checked bit-for-bit
-against the sequential interpreter) runs by default and lands under the
-``engines`` key of the report.
+``families``
+    Analyze-throughput (references classified per second) and
+    simulate-throughput (memory operations per second) for every
+    workload family, fast path vs baseline path.
+
+``engines``
+    HOSE vs CASE speculative-storage pressure across buffer capacities,
+    every run checked bit-for-bit against the sequential interpreter
+    (the ``engines`` key of the report).
+
+``speedup``
+    The multiprocessor timing model: HOSE/CASE makespans and
+    speedup-vs-sequential across processors x window x capacity (the
+    ``speedup`` key; see ``docs/PERFORMANCE.md`` section 5).
 
 Common invocations::
 
-    python -m repro.bench                 # full run, both paths + speedups
+    python -m repro.bench                 # full run, all scenarios
     python -m repro.bench --smoke         # tiny sizes, CI-friendly
+    python -m repro.bench --scenarios speedup   # one scenario only
+    python -m repro.bench --list-scenarios
     python -m repro.bench --no-fast-path  # baseline path only (e.g. to
                                           # benchmark a tree without the
                                           # fast path, same harness)
@@ -24,6 +32,10 @@ Common invocations::
     python -m repro.bench --verify-engines  # equivalence check only:
                                           # HOSE/CASE final state vs
                                           # sequential, exit 1 on drift
+    python -m repro.bench --scenarios speedup --check-speedup
+                                          # also assert HOSE on P=4 beats
+                                          # sequential on the parallel
+                                          # families (CI smoke)
 """
 
 from __future__ import annotations
@@ -46,6 +58,16 @@ from repro.bench.engines import (
     verify_engines,
 )
 from repro.bench.harness import FamilyResult, geometric_mean, measure_family
+from repro.bench.speedup import (
+    SPEEDUP_CAPACITIES,
+    SPEEDUP_PROCESSORS,
+    SPEEDUP_SIZE,
+    SPEEDUP_SMOKE_SIZE,
+    SPEEDUP_STATEMENTS,
+    SPEEDUP_WINDOWS,
+    check_embarrassing_speedup,
+    measure_speedups,
+)
 from repro.bench.workloads import (
     DEFAULT_STATEMENTS,
     FAMILIES,
@@ -53,6 +75,17 @@ from repro.bench.workloads import (
     SMOKE_STATEMENTS,
     generate_suite,
 )
+from repro.timing.cost import DEFAULT_COST_MODEL
+
+#: Scenario registry: name -> one-line description (--list-scenarios).
+SCENARIOS: Dict[str, str] = {
+    "families": "analyze/simulate throughput per workload family, "
+    "fast path vs baseline",
+    "engines": "HOSE vs CASE speculative-storage pressure across "
+    "buffer capacities",
+    "speedup": "multiprocessor timing model: HOSE/CASE makespans and "
+    "speedup vs sequential",
+}
 
 
 def _parse_args(argv):
@@ -85,6 +118,18 @@ def _parse_args(argv):
         help="tiny sizes and minimal repetitions (CI smoke test)",
     )
     parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="scenarios to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the available scenarios and exit",
+    )
+    parser.add_argument(
         "--no-fast-path",
         action="store_true",
         help="measure only the baseline (seed) code path",
@@ -113,6 +158,34 @@ def _parse_args(argv):
         help="in-flight segments per region in the engine scenario",
     )
     parser.add_argument(
+        "--processors",
+        type=int,
+        nargs="+",
+        default=list(SPEEDUP_PROCESSORS),
+        help="processor counts swept by the speedup scenario",
+    )
+    parser.add_argument(
+        "--speedup-windows",
+        type=int,
+        nargs="+",
+        default=list(SPEEDUP_WINDOWS),
+        help="in-flight windows swept by the speedup scenario",
+    )
+    parser.add_argument(
+        "--speedup-capacities",
+        type=int,
+        nargs="+",
+        default=[c for c in SPEEDUP_CAPACITIES if c is not None],
+        help="speculative capacities swept by the speedup scenario "
+        "(0 = unbounded)",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        action="store_true",
+        help="exit 1 unless HOSE on 4 processors beats the sequential "
+        "cycle total on the embarrassingly-parallel families",
+    )
+    parser.add_argument(
         "--verify-engines",
         action="store_true",
         help="only check HOSE/CASE final-state equivalence vs the "
@@ -134,8 +207,35 @@ def _parse_args(argv):
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            print(f"{name:<10} {SCENARIOS[name]}")
+        return 0
     if args.no_fast_path and args.fast_only:
         print("--no-fast-path and --fast-only are mutually exclusive", file=sys.stderr)
+        return 2
+    selected = set(args.scenarios) if args.scenarios else set(SCENARIOS)
+    if args.no_engines:
+        selected.discard("engines")
+    if not selected:
+        print(
+            "nothing to run: the scenario selection is empty "
+            "(--no-engines removed the only selected scenario)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check_speedup and "speedup" not in selected:
+        print("--check-speedup requires the speedup scenario", file=sys.stderr)
+        return 2
+    if args.check_speedup and 4 not in args.processors:
+        print("--check-speedup requires 4 in --processors", file=sys.stderr)
+        return 2
+    if args.check_speedup and args.verify_engines:
+        print(
+            "--verify-engines runs the equivalence check only and never "
+            "reaches the speedup scenario; drop one of the two flags",
+            file=sys.stderr,
+        )
         return 2
 
     if args.verify_engines:
@@ -168,10 +268,6 @@ def main(argv=None) -> int:
     statements = SMOKE_STATEMENTS if args.smoke else args.statements
     min_seconds = 0.02 if args.smoke else args.min_seconds
 
-    suite = generate_suite(
-        size=size, statements=statements, families=tuple(args.families)
-    )
-
     modes = []
     if not args.no_fast_path:
         modes.append(("fast", True))
@@ -180,43 +276,47 @@ def main(argv=None) -> int:
 
     families: Dict[str, Dict] = {}
     t_start = time.perf_counter()
-    for workload in suite:
-        entry: Dict = {}
-        measured: Dict[str, FamilyResult] = {}
-        for mode_name, fast in modes:
-            print(
-                f"[bench] {workload.family:<10} {mode_name:<8} "
-                f"(size={workload.size}, statements={workload.statements}) ...",
-                flush=True,
-            )
-            result = measure_family(
-                workload, fast_path=fast, min_seconds=min_seconds
-            )
-            measured[mode_name] = result
-            entry[mode_name] = result.as_dict()
-        if "fast" in measured and "baseline" in measured:
-            fast_r, base_r = measured["fast"], measured["baseline"]
-            entry["speedup"] = {
-                "analyze": round(
-                    fast_r.analyze.per_second
-                    / max(base_r.analyze.per_second, 1e-9),
-                    2,
-                ),
-                "analyze_warm": round(
-                    fast_r.analyze_warm.per_second
-                    / max(base_r.analyze_warm.per_second, 1e-9),
-                    2,
-                ),
-                "simulate": round(
-                    fast_r.simulate.per_second
-                    / max(base_r.simulate.per_second, 1e-9),
-                    2,
-                ),
-            }
-        families[workload.family] = entry
+    if "families" in selected:
+        suite = generate_suite(
+            size=size, statements=statements, families=tuple(args.families)
+        )
+        for workload in suite:
+            entry: Dict = {}
+            measured: Dict[str, FamilyResult] = {}
+            for mode_name, fast in modes:
+                print(
+                    f"[bench] {workload.family:<10} {mode_name:<8} "
+                    f"(size={workload.size}, statements={workload.statements}) ...",
+                    flush=True,
+                )
+                result = measure_family(
+                    workload, fast_path=fast, min_seconds=min_seconds
+                )
+                measured[mode_name] = result
+                entry[mode_name] = result.as_dict()
+            if "fast" in measured and "baseline" in measured:
+                fast_r, base_r = measured["fast"], measured["baseline"]
+                entry["speedup"] = {
+                    "analyze": round(
+                        fast_r.analyze.per_second
+                        / max(base_r.analyze.per_second, 1e-9),
+                        2,
+                    ),
+                    "analyze_warm": round(
+                        fast_r.analyze_warm.per_second
+                        / max(base_r.analyze_warm.per_second, 1e-9),
+                        2,
+                    ),
+                    "simulate": round(
+                        fast_r.simulate.per_second
+                        / max(base_r.simulate.per_second, 1e-9),
+                        2,
+                    ),
+                }
+            families[workload.family] = entry
 
     engines_section = None
-    if not args.no_engines:
+    if "engines" in selected:
         engine_size = ENGINE_SMOKE_SIZE if args.smoke else ENGINE_SIZE
         engine_statements = (
             SMOKE_STATEMENTS if args.smoke else ENGINE_STATEMENTS
@@ -242,6 +342,39 @@ def main(argv=None) -> int:
             ),
         }
 
+    speedup_section = None
+    if "speedup" in selected:
+        speedup_size = SPEEDUP_SMOKE_SIZE if args.smoke else SPEEDUP_SIZE
+        speedup_statements = (
+            SMOKE_STATEMENTS if args.smoke else SPEEDUP_STATEMENTS
+        )
+        capacities = [c if c else None for c in args.speedup_capacities]
+        windows = list(args.speedup_windows)
+        print(
+            f"[bench] speedup: HOSE/CASE makespans "
+            f"(size={speedup_size}, statements={speedup_statements}, "
+            f"processors={args.processors}, windows={windows}, "
+            f"capacities={capacities}) ...",
+            flush=True,
+        )
+        speedup_section = {
+            "size": speedup_size,
+            "statements": speedup_statements,
+            "processors": list(args.processors),
+            "windows": windows,
+            "capacities": capacities,
+            "cost_model": DEFAULT_COST_MODEL.as_dict(),
+            "families": measure_speedups(
+                size=speedup_size,
+                statements=speedup_statements,
+                families=tuple(args.families),
+                processors=tuple(args.processors),
+                windows=tuple(windows),
+                capacities=tuple(capacities),
+                cost=DEFAULT_COST_MODEL,
+            ),
+        }
+
     report = {
         "meta": {
             "version": __version__,
@@ -250,6 +383,7 @@ def main(argv=None) -> int:
             "size": size,
             "statements": statements,
             "smoke": args.smoke,
+            "scenarios": sorted(selected),
             "modes": [name for name, _ in modes],
             "wall_seconds": round(time.perf_counter() - t_start, 2),
         },
@@ -257,6 +391,8 @@ def main(argv=None) -> int:
     }
     if engines_section is not None:
         report["engines"] = engines_section
+    if speedup_section is not None:
+        report["speedup"] = speedup_section
     if all("speedup" in entry for entry in families.values()) and families:
         report["summary"] = {
             "analyze_speedup_geomean": round(
@@ -322,6 +458,37 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if speedup_section is not None:
+        mismatches = 0
+        top = str(max(args.processors))
+        for family, entry in speedup_section["families"].items():
+            for side in ("hose", "case"):
+                for row in entry["configs"].values():
+                    if not row[side]["matches_sequential"]:
+                        mismatches += 1
+            print(
+                f"[bench] {family:<10} sequential={entry['sequential_cycles']:>8} "
+                f"best speedup @P={top}: "
+                f"hose={entry['best_hose_speedup']}x "
+                f"case={entry['best_case_speedup']}x"
+            )
+        if mismatches:
+            print(
+                f"[bench] WARNING: {mismatches} speedup-scenario runs "
+                f"diverged from the sequential interpreter",
+                file=sys.stderr,
+            )
+            return 1
+        if args.check_speedup:
+            failures = check_embarrassing_speedup(speedup_section, processors=4)
+            for failure in failures:
+                print(f"[bench] FAIL {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(
+                "[bench] speedup check OK (HOSE on 4 processors beats "
+                "sequential on the embarrassingly-parallel families)"
+            )
     return 0
 
 

@@ -23,6 +23,14 @@
   (Definition 4, idempotent references bypass it using the labels of
   Algorithm 2).  Both produce final memory states bit-identical to the
   sequential interpreter.
+
+Both the engines and the sequential interpreter accept timing hooks
+consumed by :mod:`repro.timing`: the engines emit a per-segment-attempt
+timing event stream through an attached
+:class:`~repro.timing.events.TimingRecorder`, the interpreter exposes a
+per-operation ``op_hook``, and the executor's ``compute_cost`` latency
+hook lets a cost model price arithmetic.  The timing package turns
+those streams into multiprocessor makespans and HOSE/CASE speedups.
 """
 
 from repro.runtime.errors import AddressError, SimulationError

@@ -84,7 +84,9 @@ from repro.runtime.memory import (
 from repro.runtime.specstore import SegmentBuffer, SpeculativeStore
 from repro.runtime.stats import ExecutionStats
 
-#: Reference routes (how an engine serves one static reference).
+#: Reference routes (how an engine serves one static reference).  The
+#: canonical definition -- the timing cost model imports these (timing
+#: consumes runtime, never the reverse).
 ROUTE_SPECULATIVE = "speculative"
 ROUTE_DIRECT = "direct"
 ROUTE_PRIVATE = "private"
@@ -178,6 +180,7 @@ class SpeculativeEngine:
         op_budget: Optional[int] = None,
         model_latency: bool = False,
         latencies: Optional[MemoryLatencies] = None,
+        recorder=None,
     ):
         self.program = program
         self.window = max(1, int(window))
@@ -189,6 +192,16 @@ class SpeculativeEngine:
             if model_latency
             else None
         )
+        #: Optional :class:`repro.timing.events.TimingRecorder`; when
+        #: attached, every lifecycle event and operation is emitted as a
+        #: timing event (and compute costs use the recorder's cost
+        #: model), without perturbing execution or final memory state.
+        self._recorder = recorder
+        self._compute_cost = (
+            recorder.cost.compute_cost_fn() if recorder is not None else None
+        )
+        if recorder is not None:
+            recorder.run_begin(program.name, self.engine_name, self.window)
         self._age = 0
         #: uid -> route for the region currently executing.
         self._routes: Dict[str, str] = {}
@@ -215,13 +228,23 @@ class SpeculativeEngine:
             window=self.window,
             capacity=self.capacity,
         )
+        recorder = self._recorder
         self._drive_direct(
-            segment_coroutine(self.program.init, op_budget=self.op_budget),
+            segment_coroutine(
+                self.program.init,
+                op_budget=self.op_budget,
+                compute_cost=self._compute_cost,
+            ),
             memory,
             stats,
         )
         for region in self.program.regions:
             self._routes = self._routes_for(region, result)
+            if recorder is not None:
+                recorder.region_begin(
+                    region.name,
+                    "loop" if isinstance(region, LoopRegion) else "explicit",
+                )
             if isinstance(region, LoopRegion):
                 self._run_loop_region(region, memory, stats)
             elif isinstance(region, ExplicitRegion):
@@ -230,8 +253,14 @@ class SpeculativeEngine:
                 raise SimulationError(
                     f"unknown region type {type(region).__name__}"
                 )
+            if recorder is not None:
+                recorder.region_end()
         self._drive_direct(
-            segment_coroutine(self.program.finale, op_budget=self.op_budget),
+            segment_coroutine(
+                self.program.finale,
+                op_budget=self.op_budget,
+                compute_cost=self._compute_cost,
+            ),
             memory,
             stats,
         )
@@ -252,6 +281,7 @@ class SpeculativeEngine:
         access_latency = (
             self.hierarchy.access_latency if self.hierarchy is not None else None
         )
+        recorder = self._recorder
         try:
             op = coroutine.send(None)
             while True:
@@ -263,7 +293,11 @@ class SpeculativeEngine:
                     if op.ref is not None:
                         stats.count_reference(op.ref.uid)
                     if access_latency is not None:
-                        stats.cycles += access_latency(address)
+                        latency = access_latency(address)
+                        stats.cycles += latency
+                        stats.memory_latency_cycles += latency
+                    if recorder is not None:
+                        recorder.direct_op("read", 0)
                     op = coroutine.send(value)
                 elif cls is WriteOp:
                     address = memory.address_of(op.variable, op.subscripts)
@@ -272,10 +306,16 @@ class SpeculativeEngine:
                     if op.ref is not None:
                         stats.count_reference(op.ref.uid)
                     if access_latency is not None:
-                        stats.cycles += access_latency(address)
+                        latency = access_latency(address)
+                        stats.cycles += latency
+                        stats.memory_latency_cycles += latency
+                    if recorder is not None:
+                        recorder.direct_op("write", 0)
                     op = coroutine.send(None)
                 else:  # ComputeOp
                     stats.cycles += op.cycles
+                    if recorder is not None:
+                        recorder.direct_op("compute", op.cycles)
                     op = coroutine.send(None)
         except StopIteration:
             return
@@ -296,9 +336,16 @@ class SpeculativeEngine:
         buffer = self.store.open_segment(key, self._age)
         task = _SegmentTask(key, segment_name, self._age, spawn, buffer)
         stats.segments_started += 1
+        if self._recorder is not None:
+            self._recorder.segment_started(key, self._age)
         return task
 
-    def _restart(self, task: _SegmentTask, stats: ExecutionStats) -> None:
+    def _restart(
+        self,
+        task: _SegmentTask,
+        stats: ExecutionStats,
+        by_age: Optional[int] = None,
+    ) -> None:
         """Roll a violated segment back and re-execute it from scratch."""
         stats.rollbacks += 1
         stats.wasted_cycles += task.cycles
@@ -313,6 +360,8 @@ class SpeculativeEngine:
         task.done = False
         task.stalled = False
         stats.segments_started += 1
+        if self._recorder is not None:
+            self._recorder.squashed(task.age, by_age)
 
     def _discard(self, task: _SegmentTask, stats: ExecutionStats) -> None:
         """Throw a wrong-path segment away (control misprediction)."""
@@ -322,11 +371,15 @@ class SpeculativeEngine:
             self.store.abandon(task.buffer)
             task.buffer = None
         task.coroutine.close()
+        if self._recorder is not None:
+            self._recorder.discarded(task.age)
 
     def _stall(self, task: _SegmentTask, stats: ExecutionStats) -> None:
         if not task.stalled:
             task.stalled = True
             stats.overflow_stalls += 1
+            if self._recorder is not None:
+                self._recorder.stalled(task.age)
 
     def _unstall_oldest(
         self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
@@ -340,21 +393,28 @@ class SpeculativeEngine:
         # Every tracked entry (write values and read access info) is
         # flushed early; only the write values reach memory.
         stats.overflow_entries += task.buffer.entries
-        stats.commit_entries += self.store.commit(task.buffer, memory)
+        drained = self.store.commit(task.buffer, memory)
+        stats.commit_entries += drained
         task.buffer = None
         task.write_through = True
         task.stalled = False
+        if self._recorder is not None:
+            self._recorder.drained(task.age, drained)
 
     def _commit_task(
         self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
     ) -> None:
         """Commit the finished oldest segment in age order."""
+        entries = 0
         if task.buffer is not None:
-            stats.commit_entries += self.store.commit(task.buffer, memory)
+            entries = self.store.commit(task.buffer, memory)
+            stats.commit_entries += entries
             task.buffer = None
         for address, value in task.private.items():
             memory.store(address, value)
         stats.segments_committed += 1
+        if self._recorder is not None:
+            self._recorder.committed(task.age, entries + len(task.private))
 
     # ------------------------------------------------------------------
     # violation detection
@@ -378,11 +438,42 @@ class SpeculativeEngine:
             # younger still may have consumed the violator's results
             # through forwarding.
             if task.age >= oldest_violator:
-                self._restart(task, stats)
+                self._restart(task, stats, by_age=writer.age)
 
     # ------------------------------------------------------------------
     # one simulated operation of one segment
     # ------------------------------------------------------------------
+    def _charge(
+        self,
+        task: _SegmentTask,
+        stats: ExecutionStats,
+        cycles: int,
+        kind: str = "compute",
+        route: Optional[str] = None,
+    ) -> None:
+        """Charge one operation's cycles to the attempt and the totals.
+
+        The single choke point for per-op cycle accounting -- and, when
+        a timing recorder is attached, for timing event emission (the
+        recorder prices the op with its own cost model; ``cycles`` here
+        are engine cycles: compute costs, plus hierarchy latency when
+        ``model_latency`` is on).
+        """
+        task.cycles += cycles
+        stats.cycles += cycles
+        if kind != "compute":
+            stats.memory_latency_cycles += cycles
+        if self._recorder is not None:
+            self._recorder.op(task.age, kind, cycles, route)
+
+    def _access_latency(self, task: _SegmentTask, address: Address) -> int:
+        """Hierarchy latency of one access (0 without a latency model)."""
+        if self.hierarchy is None:
+            return 0
+        return self.hierarchy.access_latency(
+            address, processor=task.age % self.window
+        )
+
     def _step(
         self,
         task: _SegmentTask,
@@ -400,8 +491,7 @@ class SpeculativeEngine:
         op = task.current_op
         cls = type(op)
         if cls is ComputeOp:
-            task.cycles += op.cycles
-            stats.cycles += op.cycles
+            self._charge(task, stats, op.cycles)
             task.current_op = None
             return
         try:
@@ -415,10 +505,14 @@ class SpeculativeEngine:
             else ROUTE_SPECULATIVE
         )
         if cls is ReadOp:
+            #: Storage that actually served the value (``None`` =
+            #: conventional memory), which is what the cost model prices.
+            served = route
             if route is ROUTE_PRIVATE:
                 value = task.private.get(address)
                 if value is None:
                     value = memory.load(address)
+                    served = None
                 stats.private_accesses += 1
             elif route is ROUTE_DIRECT:
                 value = memory.load(address)
@@ -426,6 +520,7 @@ class SpeculativeEngine:
             elif task.write_through:
                 value = memory.load(address)
                 stats.speculative_accesses += 1
+                served = None
             else:
                 buffer = task.buffer
                 if buffer.holds(address):
@@ -437,20 +532,23 @@ class SpeculativeEngine:
                     value = self.store.forward(buffer, address)
                     if value is None:
                         value = memory.load(address)
+                        served = None
                 stats.speculative_accesses += 1
             stats.reads += 1
             if ref is not None:
                 stats.count_reference(ref.uid)
-            if self.hierarchy is not None:
-                latency = self.hierarchy.access_latency(
-                    address, processor=task.age % self.window
-                )
-                task.cycles += latency
-                stats.cycles += latency
+            self._charge(
+                task,
+                stats,
+                self._access_latency(task, address),
+                "read",
+                route=served,
+            )
             task.pending_value = value
             task.current_op = None
             return
         # WriteOp
+        served = route
         if route is ROUTE_PRIVATE:
             task.private[address] = float(op.value)
             stats.private_accesses += 1
@@ -460,6 +558,7 @@ class SpeculativeEngine:
                 stats.idempotent_accesses += 1
             else:
                 stats.speculative_accesses += 1
+                served = None
             self._check_violations(task, address, active, stats)
         else:
             buffer = task.buffer
@@ -471,12 +570,13 @@ class SpeculativeEngine:
         stats.writes += 1
         if ref is not None:
             stats.count_reference(ref.uid)
-        if self.hierarchy is not None:
-            latency = self.hierarchy.access_latency(
-                address, processor=task.age % self.window
-            )
-            task.cycles += latency
-            stats.cycles += latency
+        self._charge(
+            task,
+            stats,
+            self._access_latency(task, address),
+            "write",
+            route=served,
+        )
         task.pending_value = None
         task.current_op = None
 
@@ -494,6 +594,7 @@ class SpeculativeEngine:
                 if active and task is active[0]:
                     self._unstall_oldest(task, memory, stats)
                 else:
+                    stats.stall_rounds += 1
                     continue
             self._step(task, memory, stats, active)
 
@@ -521,9 +622,14 @@ class SpeculativeEngine:
         index = region.index
         op_budget = self.op_budget
 
+        compute_cost = self._compute_cost
+
         def spawn_for(value: int) -> Callable[[], SegmentCoroutine]:
             return lambda: segment_coroutine(
-                body, locals_in_scope={index: value}, op_budget=op_budget
+                body,
+                locals_in_scope={index: value},
+                op_budget=op_budget,
+                compute_cost=compute_cost,
             )
 
         active: List[_SegmentTask] = []
@@ -555,9 +661,13 @@ class SpeculativeEngine:
         edges = region.segment_edges()
         op_budget = self.op_budget
 
+        compute_cost = self._compute_cost
+
         def spawn_for(segment_name: str) -> Callable[[], SegmentCoroutine]:
             body = region.segment(segment_name).body
-            return lambda: segment_coroutine(body, op_budget=op_budget)
+            return lambda: segment_coroutine(
+                body, op_budget=op_budget, compute_cost=compute_cost
+            )
 
         def predicted_successor(segment_name: str) -> Optional[str]:
             """First-successor prediction; None when the path exits."""

@@ -28,7 +28,17 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.ir.expr import (
     BinOp,
@@ -93,6 +103,11 @@ class ExecContext:
     #: Optional hard limit on executed operations (guards against runaway
     #: loops in generated or property-based-test programs).
     op_budget: Optional[int] = None
+    #: Latency hook: an optional ``(stmt, expr) -> cycles`` override of
+    #: the default per-statement compute-cost estimate, letting a cost
+    #: model (e.g. :class:`repro.timing.cost.CostModel`) price operators
+    #: unevenly.  Only affects :class:`ComputeOp` cycles, never values.
+    compute_cost: Optional["Callable[[Statement, Expr], int]"] = None
     _ops: int = 0
 
     def charge(self, amount: int = 1) -> None:
@@ -177,7 +192,10 @@ def _exec_assign(stmt: Assign, ctx: ExecContext) -> SegmentCoroutine:
             return
     refs = iter(stmt.reads or [])
     rhs_value = yield from _eval_expr(stmt.rhs, ctx, refs)
-    yield ComputeOp(_compute_cost(stmt, stmt.rhs))
+    cost_fn = ctx.compute_cost
+    yield ComputeOp(
+        _compute_cost(stmt, stmt.rhs) if cost_fn is None else cost_fn(stmt, stmt.rhs)
+    )
     subs: List[int] = []
     for sub in stmt.target_subscripts:
         sub_value = yield from _eval_expr(sub, ctx, refs)
@@ -236,13 +254,20 @@ def segment_coroutine(
     body: Sequence[Statement],
     locals_in_scope: Optional[Dict[str, Number]] = None,
     op_budget: Optional[int] = None,
+    compute_cost: Optional[Callable] = None,
 ) -> SegmentCoroutine:
     """Create a fresh coroutine executing ``body``.
 
     ``locals_in_scope`` seeds the register file (e.g. the region loop
-    index for a loop-region iteration).
+    index for a loop-region iteration); ``compute_cost`` is the optional
+    latency hook replacing the default compute-cost estimate (see
+    :class:`ExecContext`).
     """
-    ctx = ExecContext(locals=dict(locals_in_scope or {}), op_budget=op_budget)
+    ctx = ExecContext(
+        locals=dict(locals_in_scope or {}),
+        op_budget=op_budget,
+        compute_cost=compute_cost,
+    )
     return execute_body(body, ctx)
 
 

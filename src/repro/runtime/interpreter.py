@@ -23,7 +23,7 @@ forces the interpreter path everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
 from repro.ir.region import (
@@ -83,11 +83,24 @@ class SequentialInterpreter:
         op_budget: Optional[int] = None,
         use_replay: bool = True,
         model_latency: bool = True,
+        op_hook: Optional[Callable[[str, int], None]] = None,
+        compute_cost: Optional[Callable] = None,
     ):
         self.program = program
         self.op_budget = op_budget
         self.use_replay = use_replay
         self.model_latency = model_latency
+        #: Optional observer called once per operation as
+        #: ``op_hook(kind, cycles)`` with kind "read" / "write" /
+        #: "compute" -- how the timing model prices a sequential run.
+        self.op_hook = op_hook
+        #: Optional executor latency hook (see
+        #: :class:`repro.runtime.executor.ExecContext`); replay bakes
+        #: default compute costs into traces, so a custom hook forces
+        #: the interpreter path.
+        self.compute_cost = compute_cost
+        if compute_cost is not None:
+            self.use_replay = False
         self.hierarchy = MemoryHierarchy(latencies=latencies)
         self._traces: Dict[str, Optional[SegmentTrace]] = {}
 
@@ -126,7 +139,8 @@ class SequentialInterpreter:
         ref_counts = stats.reference_counts
         missing = object()
         send = coroutine.send
-        reads = writes = cycles = 0
+        op_hook = self.op_hook
+        reads = writes = cycles = mem_cycles = 0
         try:
             op = send(None)
             while True:
@@ -142,7 +156,9 @@ class SequentialInterpreter:
                         uid = ref.uid
                         ref_counts[uid] = ref_counts.get(uid, 0) + 1
                     if access_latency is not None:
-                        cycles += access_latency(address)
+                        mem_cycles += access_latency(address)
+                    if op_hook is not None:
+                        op_hook("read", 0)
                     op = send(value)
                 elif cls is WriteOp:
                     address = address_of(op.variable, op.subscripts)
@@ -153,10 +169,14 @@ class SequentialInterpreter:
                         uid = ref.uid
                         ref_counts[uid] = ref_counts.get(uid, 0) + 1
                     if access_latency is not None:
-                        cycles += access_latency(address)
+                        mem_cycles += access_latency(address)
+                    if op_hook is not None:
+                        op_hook("write", 0)
                     op = send(None)
                 else:  # ComputeOp
                     cycles += op.cycles
+                    if op_hook is not None:
+                        op_hook("compute", op.cycles)
                     op = send(None)
         except StopIteration:
             return
@@ -165,7 +185,8 @@ class SequentialInterpreter:
         finally:
             stats.reads += reads
             stats.writes += writes
-            stats.cycles += cycles
+            stats.cycles += cycles + mem_cycles
+            stats.memory_latency_cycles += mem_cycles
 
     def _run_body(
         self,
@@ -176,7 +197,11 @@ class SequentialInterpreter:
         if not body:
             return
         self._drive(
-            segment_coroutine(body, op_budget=self.op_budget), memory, stats
+            segment_coroutine(
+                body, op_budget=self.op_budget, compute_cost=self.compute_cost
+            ),
+            memory,
+            stats,
         )
 
     # ------------------------------------------------------------------
@@ -243,6 +268,7 @@ class SequentialInterpreter:
                     region.body,
                     locals_in_scope={region.index: value},
                     op_budget=self.op_budget,
+                    compute_cost=self.compute_cost,
                 )
             self._drive(coroutine, memory, stats)
             stats.segments_committed += 1
@@ -267,7 +293,11 @@ class SequentialInterpreter:
             segment = region.segment(current)
             stats.segments_started += 1
             self._drive(
-                segment_coroutine(segment.body, op_budget=self.op_budget),
+                segment_coroutine(
+                    segment.body,
+                    op_budget=self.op_budget,
+                    compute_cost=self.compute_cost,
+                ),
                 memory,
                 stats,
             )

@@ -33,6 +33,13 @@ class ExecutionStats:
     commit_entries: int = 0
     #: Wasted work: cycles spent in executions that were rolled back.
     wasted_cycles: int = 0
+    #: Scheduling rounds a stalled segment sat waiting to become oldest
+    #: -- a raw engine-level pressure metric, reported alongside (but
+    #: independent of) the timing model's stall cycles.
+    stall_rounds: int = 0
+    #: Share of ``cycles`` that came from modelled memory latency
+    #: (non-zero only when a latency model is attached).
+    memory_latency_cycles: int = 0
 
     # ------------------------------------------------------------------
     def count_reference(self, uid: str) -> None:

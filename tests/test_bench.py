@@ -65,3 +65,74 @@ class TestCLI:
         entry = report["families"]["sparse"]
         assert "baseline" in entry and "fast" not in entry
         assert entry["baseline"]["replayed"] is False
+
+    def test_list_scenarios(self, capsys):
+        assert bench_main(["--list-scenarios"]) == 0
+        captured = capsys.readouterr().out
+        for scenario in ("families", "engines", "speedup"):
+            assert scenario in captured
+
+    def test_scenario_selection_runs_only_speedup(self, tmp_path):
+        out = tmp_path / "speedup.json"
+        code = bench_main(
+            [
+                "--smoke",
+                "--scenarios",
+                "speedup",
+                "--families",
+                "reduction",
+                "--processors",
+                "1",
+                "4",
+                "--speedup-windows",
+                "4",
+                "--speedup-capacities",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["meta"]["scenarios"] == ["speedup"]
+        assert report["families"] == {}
+        assert "engines" not in report
+        entry = report["speedup"]["families"]["reduction"]
+        assert entry["sequential_cycles"] > 0
+        row = entry["configs"]["w4_cinf"]
+        for side in ("hose", "case"):
+            assert row[side]["matches_sequential"] is True
+            assert row[side]["processors"]["4"]["speedup"] > 1
+
+    def test_check_speedup_passes_on_smoke_sizes(self, tmp_path):
+        out = tmp_path / "checked.json"
+        code = bench_main(
+            [
+                "--smoke",
+                "--scenarios",
+                "speedup",
+                "--families",
+                "reduction",
+                "--check-speedup",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        # The acceptance sweep: all four default processor counts.
+        row = report["speedup"]["families"]["reduction"]["configs"]["w4_c64"]
+        assert set(row["hose"]["processors"]) == {"1", "2", "4", "8"}
+
+    def test_check_speedup_requires_speedup_scenario(self):
+        assert (
+            bench_main(["--scenarios", "engines", "--check-speedup"]) == 2
+        )
+
+    def test_check_speedup_rejects_verify_engines(self):
+        # --verify-engines returns before the speedup scenario; the
+        # combination must be refused, not silently skipped.
+        assert bench_main(["--verify-engines", "--check-speedup"]) == 2
+
+    def test_empty_scenario_selection_rejected(self):
+        assert bench_main(["--scenarios", "engines", "--no-engines"]) == 2
