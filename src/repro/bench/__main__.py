@@ -1,6 +1,6 @@
 """Benchmark entry point: ``python -m repro.bench``.
 
-Three scenarios, all selected by default (``--scenarios`` narrows the
+Four scenarios, all selected by default (``--scenarios`` narrows the
 run, ``--list-scenarios`` enumerates them):
 
 ``families``
@@ -17,6 +17,15 @@ run, ``--list-scenarios`` enumerates them):
     The multiprocessor timing model: HOSE/CASE makespans and
     speedup-vs-sequential across processors x window x capacity (the
     ``speedup`` key; see ``docs/PERFORMANCE.md`` section 5).
+
+``chaos``
+    The robustness sweep: every fault kind of ``repro.resilience``
+    injected at each swept rate into every workload family (plus a
+    branchy explicit-region program) on both engines, asserting that
+    each run recovers -- in place or by graceful degradation -- to a
+    final state bit-identical to the sequential interpreter (the
+    ``chaos`` key; exit 1 on any unrecovered run; see
+    ``docs/ROBUSTNESS.md``).
 
 Common invocations::
 
@@ -48,6 +57,14 @@ import time
 from typing import Dict
 
 from repro._version import __version__
+from repro.bench.chaos import (
+    CHAOS_RATES,
+    CHAOS_SIZE,
+    CHAOS_SMOKE_RATES,
+    CHAOS_SMOKE_SIZE,
+    CHAOS_STATEMENTS,
+    measure_chaos,
+)
 from repro.bench.engines import (
     ENGINE_CAPACITIES,
     ENGINE_SIZE,
@@ -85,6 +102,8 @@ SCENARIOS: Dict[str, str] = {
     "buffer capacities",
     "speedup": "multiprocessor timing model: HOSE/CASE makespans and "
     "speedup vs sequential",
+    "chaos": "fault injection sweep: every fault kind x rate x family "
+    "x engine must recover bit-identically to sequential",
 }
 
 
@@ -190,6 +209,20 @@ def _parse_args(argv):
         action="store_true",
         help="only check HOSE/CASE final-state equivalence vs the "
         "sequential interpreter (exit 1 on any divergence)",
+    )
+    parser.add_argument(
+        "--chaos-rates",
+        type=float,
+        nargs="+",
+        default=list(CHAOS_RATES),
+        help="fault-injection rates swept by the chaos scenario",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="fault-injection seed for the chaos scenario "
+        "(default: the scenario's fixed seed)",
     )
     parser.add_argument(
         "--min-seconds",
@@ -375,6 +408,29 @@ def main(argv=None) -> int:
             ),
         }
 
+    chaos_section = None
+    if "chaos" in selected:
+        chaos_size = CHAOS_SMOKE_SIZE if args.smoke else CHAOS_SIZE
+        chaos_rates = (
+            list(CHAOS_SMOKE_RATES) if args.smoke else list(args.chaos_rates)
+        )
+        print(
+            f"[bench] chaos: fault injection sweep "
+            f"(size={chaos_size}, statements={CHAOS_STATEMENTS}, "
+            f"rates={chaos_rates}) ...",
+            flush=True,
+        )
+        chaos_kwargs = {}
+        if args.chaos_seed is not None:
+            chaos_kwargs["seed"] = args.chaos_seed
+        chaos_section = measure_chaos(
+            size=chaos_size,
+            statements=CHAOS_STATEMENTS,
+            families=tuple(args.families),
+            rates=tuple(chaos_rates),
+            **chaos_kwargs,
+        )
+
     report = {
         "meta": {
             "version": __version__,
@@ -393,6 +449,8 @@ def main(argv=None) -> int:
         report["engines"] = engines_section
     if speedup_section is not None:
         report["speedup"] = speedup_section
+    if chaos_section is not None:
+        report["chaos"] = chaos_section
     if all("speedup" in entry for entry in families.values()) and families:
         report["summary"] = {
             "analyze_speedup_geomean": round(
@@ -489,6 +547,38 @@ def main(argv=None) -> int:
                 "[bench] speedup check OK (HOSE on 4 processors beats "
                 "sequential on the embarrassingly-parallel families)"
             )
+    if chaos_section is not None:
+        for name, entry in chaos_section["programs"].items():
+            injected = 0
+            degraded = 0
+            runs = 0
+            for per_kind in entry["faults"].values():
+                for per_rate in per_kind.values():
+                    for row in per_rate.values():
+                        runs += 1
+                        injected += row["total_injected"]
+                        degraded += 1 if row["degraded"] else 0
+            audits = sum(
+                side["audits"] for side in entry["baseline"].values()
+            )
+            print(
+                f"[bench] {name:<10} chaos: {runs} runs, "
+                f"{injected} faults injected, {degraded} degraded, "
+                f"{audits} fault-free audits"
+            )
+        if chaos_section["unrecovered"]:
+            for failure in chaos_section["unrecovered"]:
+                print(f"[bench] FAIL {failure}", file=sys.stderr)
+            print(
+                f"[bench] WARNING: {len(chaos_section['unrecovered'])} "
+                f"chaos runs did not recover to the sequential state",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "[bench] chaos check OK (every faulted run recovered "
+            "bit-identically to sequential)"
+        )
     return 0
 
 

@@ -79,7 +79,10 @@ def measure_engine_family(
             if engine_cls is CASEEngine:
                 kwargs["cache"] = analysis_cache
             result = engine_cls(workload.program, **kwargs).run()
-            matches = not sequential.memory.differences(
+            # A degraded run re-executed sequentially, so its memory
+            # trivially matches -- flag it, it means the speculative
+            # engine itself failed.
+            matches = not result.degraded and not sequential.memory.differences(
                 result.memory, tolerance=0.0
             )
             row[name] = _engine_row(result, matches)
@@ -133,6 +136,15 @@ def verify_engines(
                     if engine_cls is CASEEngine:
                         kwargs["cache"] = analysis_cache
                     result = engine_cls(workload.program, **kwargs).run()
+                    if result.degraded:
+                        report = result.degradation
+                        failures.append(
+                            f"{family}: {engine_cls.engine_name} "
+                            f"(window={window}, capacity={capacity}) degraded "
+                            f"to sequential execution "
+                            f"({report.error_type}: {report.reason})"
+                        )
+                        continue
                     diffs = sequential.memory.differences(
                         result.memory, tolerance=0.0
                     )

@@ -1,0 +1,45 @@
+"""Fault injection, invariant auditing, and graceful degradation.
+
+The speculative substrate's correctness story rests on its recovery
+paths: squash-restart after violations, poison scrubs after corrupted
+forwards, watchdogs against livelock, and -- when all else fails --
+degradation to the sequential reference interpreter.  This package
+exercises and enforces those paths:
+
+* :mod:`repro.resilience.faults` -- a deterministic, seeded fault
+  injector plus a misbehaving :class:`~repro.runtime.specstore
+  .SpeculativeStore` wrapper covering dropped/duplicated commits,
+  corrupted forwards, spurious violations, transient capacity shrinks,
+  mid-segment exceptions, bad subscripts and control mispredictions;
+* :mod:`repro.resilience.auditor` -- a runtime invariant auditor
+  re-validating the store's representation invariants after every
+  scheduling round;
+* :mod:`repro.resilience.harness` -- :func:`run_resilient`, wiring an
+  engine, a fault plan, the auditor and graceful degradation into one
+  call whose result is always bit-identical to sequential execution.
+
+The ``chaos`` bench scenario (:mod:`repro.bench.chaos`) sweeps this
+machinery across fault kinds, rates, workload families and engines.
+"""
+
+from repro.resilience.auditor import InvariantAuditor
+from repro.resilience.faults import (
+    BAD_SUBSCRIPT,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultySpeculativeStore,
+)
+from repro.resilience.harness import run_resilient
+
+__all__ = [
+    "BAD_SUBSCRIPT",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultySpeculativeStore",
+    "InvariantAuditor",
+    "run_resilient",
+]

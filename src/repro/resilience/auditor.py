@@ -1,0 +1,151 @@
+"""Runtime invariant auditor for the speculative store.
+
+The speculative substrate keeps several representation invariants that
+no correct engine/store interaction can break (Definition 1's age
+order, the capacity bound, the accounting the bench metrics are built
+on).  The auditor re-derives them from scratch after every scheduling
+round; a failure means the substrate is corrupted -- by an engine bug
+or an injected fault -- and raises
+:class:`~repro.runtime.errors.InvariantViolation`, which the engine
+answers with graceful degradation to sequential execution.
+
+Audited invariants:
+
+* **age order** -- in-flight buffers are strictly increasing in age
+  (sequential program order), with no duplicates;
+* **no committed-entry leakage** -- no in-flight buffer is at or below
+  the engine's commit watermark (a committed segment's storage must
+  have been deregistered, and a region must end with an empty store);
+* **occupancy accounting** -- the store's incrementally-maintained
+  occupancy equals the sum of per-buffer entries, and the recorded
+  high-water marks are not below the current state;
+* **entry consistency** -- every buffered value and every exposed read
+  occupies a tracked entry, and no buffer exceeds the capacity bound;
+* **forwarding direction** -- a read can only be served by an *older*
+  in-flight buffer: for the oldest buffer, any address held exclusively
+  by younger buffers must forward as a miss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.errors import InvariantViolation
+from repro.runtime.specstore import SpeculativeStore
+
+#: Cap on the per-round forwarding-direction probes (the check is a
+#: contract sample, not an exhaustive sweep).
+MAX_FORWARD_PROBES = 4
+
+
+class InvariantAuditor:
+    """Validates :class:`SpeculativeStore` consistency between rounds."""
+
+    def __init__(self):
+        #: Rounds audited (diagnostics; lets tests assert the auditor
+        #: actually ran).
+        self.audits = 0
+
+    # ------------------------------------------------------------------
+    def audit(
+        self,
+        store: SpeculativeStore,
+        committed_age: int = 0,
+        region: Optional[str] = None,
+    ) -> None:
+        """Check every invariant; raise :class:`InvariantViolation`."""
+        self.audits += 1
+        where = f" in region {region!r}" if region else ""
+        buffers = store.buffers()
+
+        previous_age = None
+        occupancy = 0
+        for buffer in buffers:
+            if previous_age is not None and buffer.age <= previous_age:
+                raise InvariantViolation(
+                    f"in-flight buffers out of age order{where}: "
+                    f"{buffer.age} after {previous_age}"
+                )
+            previous_age = buffer.age
+            if buffer.age <= committed_age:
+                raise InvariantViolation(
+                    f"committed-entry leakage{where}: buffer "
+                    f"{buffer.key!r} (age {buffer.age}) is still in "
+                    f"flight at commit watermark {committed_age}"
+                )
+            missing = (
+                set(buffer.values) | buffer.read_set
+            ) - buffer.tracked
+            if missing:
+                raise InvariantViolation(
+                    f"untracked entries{where} in buffer {buffer.key!r}: "
+                    f"{sorted(missing)[:3]}"
+                )
+            if store.capacity is not None and buffer.entries > store.capacity:
+                raise InvariantViolation(
+                    f"buffer {buffer.key!r} holds {buffer.entries} entries "
+                    f"over capacity {store.capacity}{where}"
+                )
+            occupancy += buffer.entries
+
+        if occupancy != store.occupancy():
+            raise InvariantViolation(
+                f"occupancy accounting drift{where}: store reports "
+                f"{store.occupancy()}, buffers hold {occupancy}"
+            )
+        if store.peak_entries < occupancy:
+            raise InvariantViolation(
+                f"peak_entries ({store.peak_entries}) below current "
+                f"occupancy ({occupancy}){where}"
+            )
+        if buffers:
+            largest = max(buffer.entries for buffer in buffers)
+            if store.peak_segment_entries < largest:
+                raise InvariantViolation(
+                    f"peak_segment_entries ({store.peak_segment_entries}) "
+                    f"below a live buffer's {largest}{where}"
+                )
+
+        self._audit_forwarding(store, where)
+
+    # ------------------------------------------------------------------
+    def audit_region_end(
+        self, store: SpeculativeStore, region: Optional[str] = None
+    ) -> None:
+        """A finished region must leave no in-flight speculative state."""
+        self.audits += 1
+        where = f" in region {region!r}" if region else ""
+        if len(store):
+            leaked = [buffer.key for buffer in store.buffers()]
+            raise InvariantViolation(
+                f"region ended with {len(store)} in-flight buffers"
+                f"{where}: {leaked[:3]}"
+            )
+        if store.occupancy() != 0:
+            raise InvariantViolation(
+                f"region ended with nonzero occupancy "
+                f"({store.occupancy()}){where}"
+            )
+
+    # ------------------------------------------------------------------
+    def _audit_forwarding(self, store: SpeculativeStore, where: str) -> None:
+        """Sample the forwarding contract: older buffers only."""
+        buffers = store.buffers()
+        if len(buffers) < 2:
+            return
+        oldest = buffers[0]
+        probes = 0
+        held_by_oldest = set(oldest.values)
+        for younger in buffers[1:]:
+            for address in younger.values:
+                if address in held_by_oldest:
+                    continue
+                if store.forward(oldest, address) is not None:
+                    raise InvariantViolation(
+                        f"forwarding direction violated{where}: the oldest "
+                        f"buffer was served {address!r} held only by "
+                        f"younger segments"
+                    )
+                probes += 1
+                if probes >= MAX_FORWARD_PROBES:
+                    return

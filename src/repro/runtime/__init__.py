@@ -33,7 +33,13 @@ hook lets a cost model price arithmetic.  The timing package turns
 those streams into multiprocessor makespans and HOSE/CASE speedups.
 """
 
-from repro.runtime.errors import AddressError, SimulationError
+from repro.runtime.errors import (
+    AddressError,
+    EngineLivelockError,
+    FaultInjected,
+    InvariantViolation,
+    SimulationError,
+)
 from repro.runtime.memory import MemoryHierarchy, MemoryImage, MemoryLatencies
 from repro.runtime.interpreter import (
     SequentialInterpreter,
@@ -42,6 +48,7 @@ from repro.runtime.interpreter import (
 )
 from repro.runtime.engines import (
     CASEEngine,
+    DegradationReport,
     HOSEEngine,
     SpeculativeEngine,
     SpeculativeResult,
@@ -60,8 +67,12 @@ from repro.runtime.trace import (
 __all__ = [
     "AddressError",
     "CASEEngine",
+    "DegradationReport",
+    "EngineLivelockError",
     "ExecutionStats",
+    "FaultInjected",
     "HOSEEngine",
+    "InvariantViolation",
     "MemoryHierarchy",
     "MemoryImage",
     "MemoryLatencies",

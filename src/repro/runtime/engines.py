@@ -65,7 +65,13 @@ from repro.ir.program import Program
 from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
 from repro.ir.symbols import SymbolError
 from repro.ir.types import IdempotencyCategory, RefLabel
-from repro.runtime.errors import AddressError, SimulationError
+from repro.runtime.errors import (
+    AddressError,
+    EngineLivelockError,
+    FaultInjected,
+    InvariantViolation,
+    SimulationError,
+)
 from repro.runtime.executor import (
     ComputeOp,
     ReadOp,
@@ -74,14 +80,18 @@ from repro.runtime.executor import (
     evaluate_expression,
     segment_coroutine,
 )
-from repro.runtime.interpreter import MAX_EXPLICIT_STEPS
+from repro.runtime.interpreter import MAX_EXPLICIT_STEPS, SequentialInterpreter
 from repro.runtime.memory import (
     Address,
     MemoryHierarchy,
     MemoryImage,
     MemoryLatencies,
 )
-from repro.runtime.specstore import SegmentBuffer, SpeculativeStore
+from repro.runtime.specstore import (
+    SegmentBuffer,
+    SpeculativeStore,
+    SpecStoreError,
+)
 from repro.runtime.stats import ExecutionStats
 
 #: Reference routes (how an engine serves one static reference).  The
@@ -90,6 +100,54 @@ from repro.runtime.stats import ExecutionStats
 ROUTE_SPECULATIVE = "speculative"
 ROUTE_DIRECT = "direct"
 ROUTE_PRIVATE = "private"
+
+#: Errors that always indicate a corrupted/stuck speculative substrate
+#: (never a program bug): the engine degrades to sequential execution
+#: on these even without a fault injector attached.
+SUBSTRATE_ERRORS = (InvariantViolation, EngineLivelockError, SpecStoreError)
+
+#: Defaults for the graceful-degradation policy.  Both bounds are far
+#: above anything a fault-free run can reach (restarts per segment are
+#: bounded by the in-flight window times the writes per segment, and
+#: the oldest segment commits within one round per operation), so they
+#: only ever trip on genuine livelock.
+DEFAULT_MAX_RESTARTS = 100_000
+DEFAULT_WATCHDOG_ROUNDS = 1_000_000
+
+
+@dataclass
+class DegradationReport:
+    """Why a speculative run fell back to the sequential interpreter."""
+
+    #: Engine that gave up ("hose" / "case").
+    engine: str
+    program: str
+    #: Class name of the error that triggered the fallback.
+    error_type: str
+    reason: str
+    #: Region being executed when the engine gave up (None = outside
+    #: any region, e.g. init/finale).
+    region: Optional[str]
+    #: Progress of the abandoned speculative attempt.
+    segments_committed: int
+    rollbacks: int
+    fault_restarts: int
+    #: Injected-fault counts per kind at the time of the fallback
+    #: (empty when no injector was attached).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "engine": self.engine,
+            "program": self.program,
+            "error_type": self.error_type,
+            "reason": self.reason,
+            "region": self.region,
+            "segments_committed": self.segments_committed,
+            "rollbacks": self.rollbacks,
+            "fault_restarts": self.fault_restarts,
+            "fault_counts": dict(self.fault_counts),
+        }
 
 
 @dataclass
@@ -108,6 +166,12 @@ class SpeculativeResult:
     spec_peak_segment_entries: int = 0
     #: Region name -> labeling used for routing (CASE only).
     labeling: Dict[str, object] = field(default_factory=dict)
+    #: True when the speculative run was abandoned and the final state
+    #: came from the sequential fallback (bit-identical by construction).
+    degraded: bool = False
+    degradation: Optional[DegradationReport] = None
+    #: Injected-fault counts per kind (runs with an injector attached).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     def value_of(self, variable: str, subscripts=()) -> float:
         """Convenience read of the final memory state."""
@@ -131,6 +195,7 @@ class _SegmentTask:
         "buffer",
         "private",
         "cycles",
+        "restarts",
     )
 
     def __init__(
@@ -160,6 +225,9 @@ class _SegmentTask:
         self.private: Dict[Address, float] = {}
         #: Cycles of the current attempt (moved to wasted_cycles on squash).
         self.cycles = 0
+        #: Squash-restart cycles consumed by this occurrence (bounded by
+        #: the engine's ``max_restarts`` policy).
+        self.restarts = 0
 
 
 class SpeculativeEngine:
@@ -181,12 +249,46 @@ class SpeculativeEngine:
         model_latency: bool = False,
         latencies: Optional[MemoryLatencies] = None,
         recorder=None,
+        store: Optional[SpeculativeStore] = None,
+        injector=None,
+        auditor=None,
+        max_restarts: Optional[int] = DEFAULT_MAX_RESTARTS,
+        watchdog_rounds: Optional[int] = DEFAULT_WATCHDOG_ROUNDS,
+        fallback: bool = True,
     ):
         self.program = program
         self.window = max(1, int(window))
         self.capacity = capacity
         self.op_budget = op_budget
-        self.store = SpeculativeStore(capacity=capacity)
+        #: A pre-built store (e.g. a FaultySpeculativeStore) overrides
+        #: the default substrate; its capacity wins.
+        self.store = store if store is not None else SpeculativeStore(
+            capacity=capacity
+        )
+        if store is not None:
+            self.capacity = store.capacity
+        #: Resilience policy (see docs/ROBUSTNESS.md): an optional
+        #: :class:`repro.resilience.faults.FaultInjector` feeding the
+        #: op/prediction fault hooks, an optional
+        #: :class:`repro.resilience.auditor.InvariantAuditor` run after
+        #: every scheduling round, bounded squash-restart cycles per
+        #: segment occurrence, a global rounds-without-commit watchdog,
+        #: and ``fallback`` selecting graceful degradation to the
+        #: sequential interpreter over raising.
+        self._injector = injector
+        if injector is not None and auditor is None:
+            # An injected substrate must always be audited, otherwise
+            # structural faults (e.g. dropped commits) go undetected.
+            from repro.resilience.auditor import InvariantAuditor
+
+            auditor = InvariantAuditor()
+        self.auditor = auditor
+        self.max_restarts = max_restarts
+        self.watchdog_rounds = watchdog_rounds
+        self.fallback = fallback
+        self._rounds_since_commit = 0
+        self._committed_age = 0
+        self._region_name: Optional[str] = None
         self.hierarchy: Optional[MemoryHierarchy] = (
             MemoryHierarchy(latencies=latencies, processors=self.window)
             if model_latency
@@ -217,7 +319,18 @@ class SpeculativeEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> SpeculativeResult:
-        """Execute the whole program speculatively; final state + stats."""
+        """Execute the whole program speculatively; final state + stats.
+
+        When the speculative substrate fails -- an invariant violation,
+        a livelock (restart budget or watchdog), a spec-store usage
+        error, or any simulation error while a fault injector is
+        attached -- and ``fallback`` is on, the run degrades gracefully:
+        the partial speculative state is abandoned and the whole program
+        re-executes through :class:`SequentialInterpreter`, so the
+        returned final memory state is still bit-identical to the
+        sequential ground truth.  The result carries a
+        :class:`DegradationReport` describing what failed.
+        """
         memory = MemoryImage(self.program.symbols)
         stats = ExecutionStats()
         result = SpeculativeResult(
@@ -228,7 +341,70 @@ class SpeculativeEngine:
             window=self.window,
             capacity=self.capacity,
         )
+        try:
+            self._execute(memory, stats, result)
+        except SimulationError as exc:
+            if not self._should_degrade(exc):
+                raise
+            return self._degrade(exc, stats)
+        result.spec_peak_entries = self.store.peak_entries
+        result.spec_peak_segment_entries = self.store.peak_segment_entries
+        if self._injector is not None:
+            result.fault_counts = dict(self._injector.counts)
+        return result
+
+    def _should_degrade(self, exc: SimulationError) -> bool:
+        """Degradation policy: substrate failures always degrade; with
+        an injector attached *any* simulation error is suspect (the
+        fault may have manifested as a program-level error, e.g. an
+        injected bad subscript)."""
+        if not self.fallback:
+            return False
+        if isinstance(exc, SUBSTRATE_ERRORS):
+            return True
+        return self._injector is not None
+
+    def _degrade(self, exc: SimulationError, stats: ExecutionStats) -> SpeculativeResult:
+        """Abandon speculation; re-execute sequentially from scratch."""
+        report = DegradationReport(
+            engine=self.engine_name,
+            program=self.program.name,
+            error_type=type(exc).__name__,
+            reason=str(exc),
+            region=self._region_name,
+            segments_committed=stats.segments_committed,
+            rollbacks=stats.rollbacks,
+            fault_restarts=stats.fault_restarts,
+            fault_counts=(
+                dict(self._injector.counts) if self._injector is not None else {}
+            ),
+        )
+        sequential = SequentialInterpreter(
+            self.program, op_budget=self.op_budget, model_latency=False
+        ).run()
+        result = SpeculativeResult(
+            program=self.program.name,
+            engine=self.engine_name,
+            memory=sequential.memory,
+            stats=sequential.stats,
+            window=self.window,
+            capacity=self.capacity,
+            degraded=True,
+            degradation=report,
+        )
+        result.spec_peak_entries = self.store.peak_entries
+        result.spec_peak_segment_entries = self.store.peak_segment_entries
+        result.fault_counts = dict(report.fault_counts)
+        return result
+
+    def _execute(
+        self,
+        memory: MemoryImage,
+        stats: ExecutionStats,
+        result: SpeculativeResult,
+    ) -> None:
         recorder = self._recorder
+        self._region_name = None
         self._drive_direct(
             segment_coroutine(
                 self.program.init,
@@ -240,6 +416,8 @@ class SpeculativeEngine:
         )
         for region in self.program.regions:
             self._routes = self._routes_for(region, result)
+            self._region_name = region.name
+            self._rounds_since_commit = 0
             if recorder is not None:
                 recorder.region_begin(
                     region.name,
@@ -253,8 +431,11 @@ class SpeculativeEngine:
                 raise SimulationError(
                     f"unknown region type {type(region).__name__}"
                 )
+            if self.auditor is not None:
+                self.auditor.audit_region_end(self.store, region.name)
             if recorder is not None:
                 recorder.region_end()
+        self._region_name = None
         self._drive_direct(
             segment_coroutine(
                 self.program.finale,
@@ -264,9 +445,6 @@ class SpeculativeEngine:
             memory,
             stats,
         )
-        result.spec_peak_entries = self.store.peak_entries
-        result.spec_peak_segment_entries = self.store.peak_segment_entries
-        return result
 
     # ------------------------------------------------------------------
     # non-speculative sections (init / finale)
@@ -347,6 +525,12 @@ class SpeculativeEngine:
         by_age: Optional[int] = None,
     ) -> None:
         """Roll a violated segment back and re-execute it from scratch."""
+        task.restarts += 1
+        if self.max_restarts is not None and task.restarts > self.max_restarts:
+            raise EngineLivelockError(
+                f"segment {task.key!r} exceeded the restart budget "
+                f"({self.max_restarts}); the window is not making progress"
+            )
         stats.rollbacks += 1
         stats.wasted_cycles += task.cycles
         task.cycles = 0
@@ -413,6 +597,8 @@ class SpeculativeEngine:
         for address, value in task.private.items():
             memory.store(address, value)
         stats.segments_committed += 1
+        self._committed_age = task.age
+        self._rounds_since_commit = 0
         if self._recorder is not None:
             self._recorder.committed(task.age, entries + len(task.private))
 
@@ -489,14 +675,18 @@ class SpeculativeEngine:
                 return
             task.pending_value = None
         op = task.current_op
+        if self._injector is not None:
+            # Perturb this attempt only: task.current_op keeps the real
+            # op, so a retry after a stall or restart re-rolls cleanly.
+            op = self._injector.perturb_op(op)
         cls = type(op)
         if cls is ComputeOp:
             self._charge(task, stats, op.cycles)
             task.current_op = None
             return
         try:
-            address = memory.address_of(op.variable, op.subscripts)
-        except SymbolError as exc:  # pragma: no cover - defensive
+            address = memory.symbols.address_of(op.variable, op.subscripts)
+        except SymbolError as exc:
             raise AddressError(str(exc)) from exc
         ref = op.ref
         route = (
@@ -586,7 +776,24 @@ class SpeculativeEngine:
         memory: MemoryImage,
         stats: ExecutionStats,
     ) -> None:
-        """One scheduling round: each runnable segment executes one op."""
+        """One scheduling round: each runnable segment executes one op.
+
+        With the resilience layer armed the round also (1) scrubs
+        poisoned buffers *before* anything can drain them to memory,
+        (2) ticks the global progress watchdog, (3) converts transient
+        per-op faults into bounded local restarts, and (4) audits the
+        store's invariants once the round is over.
+        """
+        self._scrub_poisoned(active, stats)
+        self._rounds_since_commit += 1
+        if (
+            self.watchdog_rounds is not None
+            and self._rounds_since_commit > self.watchdog_rounds
+        ):
+            raise EngineLivelockError(
+                f"no segment committed in {self.watchdog_rounds} "
+                f"scheduling rounds; the engine is not making progress"
+            )
         for task in list(active):
             if task.done:
                 continue
@@ -596,7 +803,64 @@ class SpeculativeEngine:
                 else:
                     stats.stall_rounds += 1
                     continue
-            self._step(task, memory, stats, active)
+            try:
+                self._step(task, memory, stats, active)
+            except (FaultInjected, AddressError):
+                if self._injector is None or task.write_through:
+                    # No injector: a genuine program error.  Write-
+                    # through: the segment's earlier writes already
+                    # reached memory, so local re-execution would
+                    # double-apply them -- degrade instead.
+                    raise
+                self._recover_fault(task, active, stats)
+        if self.auditor is not None:
+            self.auditor.audit(
+                self.store, self._committed_age, region=self._region_name
+            )
+
+    def _scrub_poisoned(
+        self, active: List[_SegmentTask], stats: ExecutionStats
+    ) -> None:
+        """Squash-restart buffers whose forwarded values were corrupted.
+
+        Detection follows a parity/ECC model: the corrupted forward
+        marked the consuming buffer ``poisoned``.  Everything at or
+        younger than the oldest poisoned segment restarts -- younger
+        segments may have consumed the poisoned segment's derived
+        values (including value-dependent scatter addresses that leave
+        no violation trace), so restarting the poisoned task alone
+        would be unsound.
+        """
+        oldest_poisoned = None
+        for task in active:
+            if task.buffer is not None and task.buffer.poisoned:
+                oldest_poisoned = task.age
+                break
+        if oldest_poisoned is None:
+            return
+        # A finished-but-uncommitted task restarts too: its buffer may
+        # hold values derived from the corrupted forward.
+        for task in active:
+            if task.age >= oldest_poisoned:
+                stats.fault_restarts += 1
+                self._restart(task, stats)
+
+    def _recover_fault(
+        self,
+        task: _SegmentTask,
+        active: List[_SegmentTask],
+        stats: ExecutionStats,
+    ) -> None:
+        """Transient in-segment fault: restart the task and all younger.
+
+        Younger segments may have forwarded from the faulted one, so
+        the recovery footprint mirrors a data-dependence violation.
+        Persistent faults exhaust the restart budget and degrade.
+        """
+        for other in active:
+            if other.age >= task.age:
+                stats.fault_restarts += 1
+                self._restart(other, stats)
 
     # ------------------------------------------------------------------
     # loop regions
@@ -649,6 +913,11 @@ class SpeculativeEngine:
         while active:
             self._round(active, memory, stats)
             while active and active[0].done:
+                # A poison detected on the round's last step must not
+                # slip into this commit window.
+                self._scrub_poisoned(active, stats)
+                if not active[0].done:
+                    break
                 self._commit_task(active.pop(0), memory, stats)
                 refill()
 
@@ -669,12 +938,23 @@ class SpeculativeEngine:
                 body, op_budget=op_budget, compute_cost=compute_cost
             )
 
+        injector = self._injector
+
         def predicted_successor(segment_name: str) -> Optional[str]:
             """First-successor prediction; None when the path exits."""
             successors = edges.get(segment_name, [])
             if not successors or successors[0] == EXIT_NODE:
-                return None
-            return successors[0]
+                predicted: Optional[str] = None
+            else:
+                predicted = successors[0]
+            if injector is not None:
+                # An injected mispredict steers the fill path down a
+                # wrong (but structurally valid) successor; the normal
+                # resolve-against-committed-state machinery discards it.
+                predicted = injector.perturb_prediction(
+                    [s for s in successors if s != EXIT_NODE], predicted
+                )
+            return predicted
 
         active: List[_SegmentTask] = []
         occurrence = 0
@@ -701,11 +981,16 @@ class SpeculativeEngine:
         while active:
             self._round(active, memory, stats)
             while active and active[0].done:
+                # A poison detected on the round's last step must not
+                # slip into this commit window.
+                self._scrub_poisoned(active, stats)
+                if not active[0].done:
+                    break
                 task = active.pop(0)
                 self._commit_task(task, memory, stats)
                 committed += 1
                 if committed > MAX_EXPLICIT_STEPS:
-                    raise SimulationError(
+                    raise EngineLivelockError(
                         f"explicit region {region.name!r} exceeded "
                         f"{MAX_EXPLICIT_STEPS} segment executions"
                     )

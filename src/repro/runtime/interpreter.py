@@ -34,7 +34,11 @@ from repro.ir.region import (
 )
 from repro.ir.stmt import Statement
 from repro.ir.symbols import SymbolError
-from repro.runtime.errors import AddressError, SimulationError
+from repro.runtime.errors import (
+    AddressError,
+    EngineLivelockError,
+    SimulationError,
+)
 from repro.runtime.executor import (
     ComputeOp,
     ReadOp,
@@ -286,7 +290,7 @@ class SequentialInterpreter:
         while current != EXIT_NODE:
             steps += 1
             if steps > MAX_EXPLICIT_STEPS:
-                raise SimulationError(
+                raise EngineLivelockError(
                     f"explicit region {region.name!r} exceeded "
                     f"{MAX_EXPLICIT_STEPS} segment executions"
                 )

@@ -44,11 +44,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.runtime.errors import SimulationError
 from repro.runtime.memory import Address, MemoryImage
 
 
-class SpecStoreError(Exception):
-    """Raised for invalid speculative-store usage (engine bugs)."""
+class SpecStoreError(SimulationError):
+    """Raised for invalid speculative-store usage (engine bugs).
+
+    Part of the :class:`~repro.runtime.errors.SimulationError`
+    hierarchy: the engines treat it as a substrate failure and recover
+    by degrading to sequential execution."""
 
 
 @dataclass
@@ -68,6 +73,11 @@ class SegmentBuffer:
     tracked: Set[Address] = field(default_factory=set)
     #: Times this buffer has been squashed (diagnostics).
     squashes: int = 0
+    #: Integrity flag set by external checkers (the parity/ECC model of
+    #: the fault injector) when a value served from or into this buffer
+    #: is known to be corrupted.  The engine's per-round scrub squashes
+    #: poisoned buffers (and everything younger); squashing clears it.
+    poisoned: bool = False
 
     @property
     def entries(self) -> int:
@@ -141,6 +151,7 @@ class SpeculativeStore:
         buffer.read_set.clear()
         buffer.tracked.clear()
         buffer.squashes += 1
+        buffer.poisoned = False
         return discarded
 
     def abandon(self, buffer: SegmentBuffer) -> int:

@@ -33,6 +33,11 @@ class ExecutionStats:
     commit_entries: int = 0
     #: Wasted work: cycles spent in executions that were rolled back.
     wasted_cycles: int = 0
+    #: Rollbacks forced by the resilience layer rather than by a real
+    #: data dependence: poisoned-buffer scrubs and restarts after an
+    #: injected mid-segment exception or corrupted address (a subset of
+    #: ``rollbacks``).
+    fault_restarts: int = 0
     #: Scheduling rounds a stalled segment sat waiting to become oldest
     #: -- a raw engine-level pressure metric, reported alongside (but
     #: independent of) the timing model's stall cycles.

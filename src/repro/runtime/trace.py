@@ -93,6 +93,22 @@ MAX_TRACE_EVENTS = 500_000
 
 _COMPUTE_1 = ComputeOp(1)
 
+#: The only ways a generated arithmetic closure can diverge from the
+#: reference postfix evaluator: intrinsic / operator domain errors that
+#: :func:`_eval_arith` (matching ``apply_binary`` / ``apply_intrinsic``)
+#: absorbs to 0.0 -- ``TypeError`` / ``ValueError`` / ``OverflowError``
+#: from intrinsics and ``**``, plus ``ZeroDivisionError`` from integer
+#: ``**`` with a negative exponent (the ``/ // %`` guards are generated
+#: inline, but ``0 ** -1`` raises only in the closure form).  Anything
+#: else (e.g. a ``KeyError`` for a missing env binding) is a recording
+#: bug and must propagate, not silently re-run the interpreter.
+_ARITH_FALLBACK_ERRORS = (
+    TypeError,
+    ValueError,
+    OverflowError,
+    ZeroDivisionError,
+)
+
 
 class TraceError(Exception):
     """Raised internally when a body cannot be traced; callers fall back."""
@@ -728,7 +744,7 @@ def _program_subs(dims, values, iv, env) -> Tuple[int, ...]:
             if fn is not None:
                 try:
                     value = fn(values, iv, env)
-                except Exception:
+                except _ARITH_FALLBACK_ERRORS:
                     value = _eval_arith(d[0], values, iv, env)
             else:
                 value = _eval_arith(d[0], values, iv, env)
@@ -793,7 +809,7 @@ def replay_segment(
             if arith_fn is not None:
                 try:
                     rhs_value = arith_fn(values, iv, env)
-                except Exception:
+                except _ARITH_FALLBACK_ERRORS:
                     rhs_value = _eval_arith(arith_program, values, iv, env)
             else:
                 rhs_value = _eval_arith(arith_program, values, iv, env)

@@ -25,6 +25,12 @@ def assert_equivalent(program, engine_cls, sequential=None, **kwargs):
     if sequential is None:
         sequential = run_program(program, model_latency=False)
     result = engine_cls(program, **kwargs).run()
+    # A degraded run re-executed sequentially, which would hide any
+    # engine bug behind trivially-matching memory.
+    assert not result.degraded, (
+        f"{engine_cls.engine_name} degraded ({kwargs}): "
+        f"{result.degradation}"
+    )
     diffs = sequential.memory.differences(result.memory, tolerance=0.0)
     assert diffs == {}, (
         f"{engine_cls.engine_name} diverged "

@@ -158,3 +158,68 @@ class TestOccupancy:
         store.commit(b1, memory)
         assert store.occupancy() == 1
         assert store.peak_entries == 3  # peak persists after commit
+
+
+class TestFaultEdges:
+    """Squash/abandon/commit edges driven by the resilience layer."""
+
+    def test_squash_of_overflow_stalled_buffer(self):
+        # A buffer refused its next allocation (the engine would stall
+        # it); squashing it must release every entry so the re-executed
+        # segment can allocate afresh.
+        store = SpeculativeStore(capacity=2)
+        buf = store.open_segment(("R", 1), 1)
+        assert store.record_write(buf, ("a", 0), 1.0)
+        assert store.record_write(buf, ("b", 0), 2.0)
+        assert not store.record_write(buf, ("c", 0), 3.0)  # overflow
+        store.squash(buf)
+        assert buf.entries == 0
+        assert store.occupancy() == 0
+        assert store.record_write(buf, ("c", 0), 3.0)
+        assert len(store) == 1  # still registered for re-execution
+
+    def test_squash_clears_poison(self):
+        store = SpeculativeStore()
+        buf = store.open_segment(("R", 1), 1)
+        buf.poisoned = True
+        store.squash(buf)
+        assert buf.poisoned is False
+
+    def test_abandon_with_in_flight_forwarders(self):
+        # A younger buffer was being served by an older one; once the
+        # older is abandoned (wrong control path), the same read must
+        # miss instead of returning the dead segment's value.
+        store = SpeculativeStore()
+        older = store.open_segment(("R", 1), 1)
+        younger = store.open_segment(("R", 2), 2)
+        store.record_write(older, ("a", 0), 7.0)
+        assert store.forward(younger, ("a", 0)) == 7.0
+        store.abandon(older)
+        assert store.forward(younger, ("a", 0)) is None
+        assert store.occupancy() == 0 + younger.entries
+
+    def test_commit_after_transient_capacity_shrink(self):
+        from repro.resilience.faults import (
+            FaultInjector,
+            FaultPlan,
+            FaultySpeculativeStore,
+        )
+
+        injector = FaultInjector(
+            FaultPlan.single("capacity_shrink", 1.0), seed=0
+        )
+        store = FaultySpeculativeStore(8, injector)
+        memory = make_memory("a", "b")
+        buf = store.open_segment(("R", 1), 1)
+        # Rate 1.0: every new-entry allocation is refused once ...
+        assert not store.record_write(buf, ("a", 0), 1.0)
+        # ... but the fault is transient per opportunity, so disarming
+        # it (as time passing would) lets the retry land and the commit
+        # drain the full buffer.
+        injector.plan = FaultPlan([])
+        assert store.record_write(buf, ("a", 0), 1.5)
+        assert store.record_write(buf, ("b", 0), 2.5)
+        assert store.commit(buf, memory) == 2
+        assert memory.load(("a", 0)) == 1.5
+        assert memory.load(("b", 0)) == 2.5
+        assert store.occupancy() == 0
