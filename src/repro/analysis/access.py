@@ -38,10 +38,13 @@ keeps the analysis conservative (a missed coverage only makes a read
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.ir.expr import BinOp, Const, Expr, Index, UnaryOp, Var
+from repro.ir.expr import BinOp, Const, Expr, Index, UnaryOp, Var, const_int
 from repro.ir.reference import MemoryReference
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.region import Region
 from repro.ir.stmt import Do
 from repro.ir.types import AccessType, NodeMark
 
@@ -189,20 +192,20 @@ def reference_is_deterministic(
 # ----------------------------------------------------------------------
 def _loop_bounds(do: Do) -> Optional[Tuple[int, int]]:
     """Constant iteration range of an inner DO, normalised so lo <= hi."""
-    if (
-        isinstance(do.lower, Const)
-        and isinstance(do.upper, Const)
-        and isinstance(do.step, Const)
-    ):
-        lo, hi, step = int(do.lower.value), int(do.upper.value), int(do.step.value)
-        if step == 0:
-            return None
-        if step < 0:
-            lo, hi = hi, lo
-        if lo > hi:
-            return None
-        return lo, hi
-    return None
+    lo = const_int(do.lower)
+    hi = const_int(do.upper)
+    step = const_int(do.step)
+    if lo is None or hi is None or step is None:
+        return None
+    if abs(step) != 1:
+        # A strided loop skips addresses inside [lo, hi]; claiming the
+        # full interval would mark the gaps written/covered.
+        return None
+    if step < 0:
+        lo, hi = hi, lo
+    if lo > hi:
+        return None
+    return lo, hi
 
 
 def reference_dims(
@@ -398,7 +401,7 @@ def summarize_segment(
 
 
 def summarize_region_segments(
-    region, read_only_vars: Optional[Set[str]] = None
+    region: "Region", read_only_vars: Optional[Set[str]] = None
 ) -> Dict[str, AccessSummary]:
     """Access summaries for every segment of ``region`` (keyed by name)."""
     from repro.ir.region import LoopRegion

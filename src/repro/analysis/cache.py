@@ -31,7 +31,7 @@ private mutable copy must copy explicitly (e.g. rebuild a
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable
 
 from repro.ir.region import Region
 

@@ -14,7 +14,7 @@ to the exit; the age-ordering of segments is the iteration order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ir.region import EXIT_NODE, ExplicitRegion, Region
 

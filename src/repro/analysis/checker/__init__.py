@@ -1,0 +1,80 @@
+"""Differential label-soundness checker.
+
+This package is the *verification* counterpart of the production
+analyses in :mod:`repro.analysis` and :mod:`repro.idempotency`: a
+second, structurally different derivation of the paper's Algorithm 1
+and Algorithm 2 facts plus a dynamic execution oracle, used to judge
+every production idempotency label as *sound*, *suspect* or merely
+*conservative*.
+
+Components
+----------
+
+:mod:`repro.analysis.checker.dataflow`
+    A generic iterative (worklist) dataflow solver over arbitrary
+    graphs.  All static re-derivations below are instances of it.
+
+:mod:`repro.analysis.checker.stmt_cfg`
+    A real statement-level control-flow graph per segment body
+    (branch/join diamonds for ``IF``, header/back-edge/exit nodes for
+    ``DO``) -- the production analyses never build one; they reason
+    over flat reference lists with pairwise rectangle coverage.
+
+:mod:`repro.analysis.checker.rederive`
+    Re-derives node marks, exposed reads, RFW sets, liveness,
+    privatization, dependences and finally the Algorithm-2 labels from
+    first principles: must-defined location descriptors via dataflow
+    plus *concrete address enumeration* for dependences (no ZIV / SIV /
+    GCD machinery).  Disagreements with production are classified by
+    direction (production-aggressive vs production-conservative).
+
+:mod:`repro.analysis.checker.oracle`
+    Dynamic ground truth from actual executions: a trace observer on
+    the sequential interpreter derives per-instance exposed reads and
+    cross-segment dependences by address, and a squash-replay harness
+    poisons the addresses of idempotent-labeled writes with sentinels
+    and re-executes -- any live difference proves a label unsound.
+
+:mod:`repro.analysis.checker.differential`
+    Combines the above into one :class:`ProgramReport` with typed
+    findings, the machine-readable payload behind ``python -m
+    repro.check``.
+"""
+
+from repro.analysis.checker.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.checker.differential import (
+    CheckConfig,
+    Finding,
+    ProgramReport,
+    RegionReport,
+    check_program,
+    mutation_check,
+)
+from repro.analysis.checker.oracle import (
+    DynamicFacts,
+    ExecutionObserver,
+    TraceOracle,
+    replay_check,
+)
+from repro.analysis.checker.rederive import RederivedFacts, rederive_region
+from repro.analysis.checker.stmt_cfg import CFGNode, StmtCFG, build_segment_cfg
+
+__all__ = [
+    "CFGNode",
+    "CheckConfig",
+    "DataflowProblem",
+    "DynamicFacts",
+    "ExecutionObserver",
+    "Finding",
+    "ProgramReport",
+    "RederivedFacts",
+    "RegionReport",
+    "StmtCFG",
+    "TraceOracle",
+    "build_segment_cfg",
+    "check_program",
+    "mutation_check",
+    "rederive_region",
+    "replay_check",
+    "solve_dataflow",
+]

@@ -1,0 +1,109 @@
+"""Generic iterative dataflow solver.
+
+A classic worklist fixpoint over an arbitrary directed graph.  The
+graph is supplied as a node list plus successor/predecessor callables,
+so the same solver runs over the statement-level CFGs of
+:mod:`repro.analysis.checker.stmt_cfg` *and* over region segment
+graphs (:class:`repro.analysis.cfg.SegmentGraph`).
+
+A :class:`DataflowProblem` supplies the lattice operations:
+
+* ``boundary()`` -- the value entering the graph (at the entry node
+  for forward problems, at the exit node for backward ones);
+* ``join(a, b)`` -- the confluence operator (set intersection for
+  *must* problems, union for *may* problems);
+* ``transfer(node, value)`` -- the node's effect.
+
+Unreachable nodes are never visited and report ``None`` (lattice top);
+``transfer`` therefore never sees an uninitialised value, which keeps
+*must* problems (where top is the infinite universe) representable
+with plain ``frozenset`` values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+Node = Hashable
+
+
+class DataflowProblem:
+    """Lattice + transfer functions of one analysis instance."""
+
+    #: "forward" propagates entry -> exit, "backward" the reverse.
+    direction: str = "forward"
+
+    def boundary(self) -> object:
+        """Value at the graph boundary."""
+        raise NotImplementedError
+
+    def join(self, a: object, b: object) -> object:
+        """Confluence of two path values."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, value: object) -> object:
+        """Value after ``node`` given the value before it."""
+        raise NotImplementedError
+
+
+def solve_dataflow(
+    nodes: Iterable[Node],
+    successors: Callable[[Node], Iterable[Node]],
+    predecessors: Callable[[Node], Iterable[Node]],
+    problem: DataflowProblem,
+    entries: Iterable[Node],
+) -> Dict[Node, Tuple[Optional[object], Optional[object]]]:
+    """Run ``problem`` to fixpoint; returns ``node -> (in, out)``.
+
+    ``entries`` are the boundary nodes (region entry for forward
+    problems, exits for backward ones).  For backward problems the
+    in-value is the value *after* the node in execution order and the
+    out-value the value before it, i.e. (in, out) always follow the
+    propagation direction.
+    """
+    node_list = list(nodes)
+    if problem.direction == "backward":
+        successors, predecessors = predecessors, successors
+
+    in_val: Dict[Node, Optional[object]] = {n: None for n in node_list}
+    out_val: Dict[Node, Optional[object]] = {n: None for n in node_list}
+
+    worklist: deque = deque()
+    entry_set = set(entries)
+    for node in node_list:
+        if node in entry_set:
+            in_val[node] = problem.boundary()
+            worklist.append(node)
+
+    in_list = deque(worklist)
+    queued = set(in_list)
+    iterations = 0
+    limit = max(64, len(node_list) * len(node_list) * 16 + 1024)
+    while in_list:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - defensive
+            raise RuntimeError("dataflow solver failed to converge")
+        node = in_list.popleft()
+        queued.discard(node)
+
+        merged: Optional[object] = None
+        if node in entry_set:
+            merged = problem.boundary()
+        for pred in predecessors(node):
+            pv = out_val.get(pred)
+            if pv is None:
+                continue
+            merged = pv if merged is None else problem.join(merged, pv)
+        if merged is None:
+            continue
+        in_val[node] = merged
+        new_out = problem.transfer(node, merged)
+        if new_out != out_val[node]:
+            out_val[node] = new_out
+            for succ in successors(node):
+                if succ not in queued and succ in in_val:
+                    queued.add(succ)
+                    in_list.append(succ)
+
+    return {n: (in_val[n], out_val[n]) for n in node_list}

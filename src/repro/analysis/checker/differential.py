@@ -1,0 +1,461 @@
+"""Differential judgment: production labels vs checker facts vs dynamics.
+
+Combines the three evidence sources into one machine-readable report:
+
+* the static re-derivation (:mod:`repro.analysis.checker.rederive`),
+  which classifies every disagreement as *production-aggressive*
+  (production claims the stronger fact -- a suspect) or
+  *production-conservative* (the checker proves more -- a precision
+  gap);
+* the trace oracle (:mod:`repro.analysis.checker.oracle`), whose
+  dynamic hazards are ground truth: a claimed-idempotent reference
+  with a witnessed value-changing hazard is **unsound**, full stop;
+* the squash-replay simulation, which executes the exact storage
+  discipline the labels license and diffs observable memory.
+
+Severity ladder::
+
+    unsound    dynamic contradiction -- the label licenses a storage
+               bypass that provably corrupts an execution (CI: fail)
+    suspect    static contradiction at exact enumeration -- production
+               claims a fact the checker refutes; no dynamic witness
+               on this input, but the claim is not proven either
+    precision  production is provably more conservative than necessary
+    info       everything else worth a human glance
+
+:func:`mutation_check` closes the loop on the checker itself: it flips
+speculative labels with witnessed dynamic hazards to idempotent and
+verifies the oracles catch every such injected mislabeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.idempotency.labeling import LabelingResult, label_program
+from repro.ir.types import IdempotencyCategory
+from repro.ir.program import Program
+from repro.ir.reference import MemoryReference
+from repro.ir.validate import validate_program
+from repro.analysis.checker.oracle import (
+    DEFAULT_OP_BUDGET,
+    DynamicFacts,
+    TraceOracle,
+    replay_check,
+    run_trace,
+)
+from repro.analysis.checker.rederive import (
+    DEFAULT_ENUM_BUDGET,
+    compare_region,
+    rederive_region,
+)
+
+SEVERITIES = ("unsound", "suspect", "precision", "info")
+
+
+@dataclass
+class CheckConfig:
+    """Knobs of one differential check."""
+
+    enum_budget: int = DEFAULT_ENUM_BUDGET
+    op_budget: int = DEFAULT_OP_BUDGET
+    #: run the dynamic trace oracle.
+    dynamic: bool = True
+    #: run the squash-replay simulation.
+    replay: bool = True
+    #: run the IR lint pass.
+    lint: bool = True
+
+
+@dataclass
+class Finding:
+    """One judged disagreement."""
+
+    severity: str  # see SEVERITIES
+    region: str
+    kind: str  # label | mark | exposure | rfw | liveout | private | ...
+    key: str  # reference uid or variable
+    message: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "severity": self.severity,
+            "region": self.region,
+            "kind": self.kind,
+            "key": self.key,
+            "message": self.message,
+        }
+
+
+@dataclass
+class RegionReport:
+    """Checker verdict for one region."""
+
+    region: str
+    references: int
+    idempotent_labels: int
+    #: static re-derivation ran with exact dependence enumeration.
+    exact: bool
+    findings: List[Finding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: production-conservative label count (precision gap).
+    production_conservative: int = 0
+    #: dynamically hazard-free refs production still labels speculative.
+    dynamically_clean_speculative: int = 0
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def as_dict(self) -> Dict:
+        return {
+            "region": self.region,
+            "references": self.references,
+            "idempotent_labels": self.idempotent_labels,
+            "exact": self.exact,
+            "findings": [f.as_dict() for f in self.findings],
+            "notes": list(self.notes),
+            "production_conservative": self.production_conservative,
+            "dynamically_clean_speculative": (
+                self.dynamically_clean_speculative
+            ),
+        }
+
+
+@dataclass
+class ProgramReport:
+    """Checker verdict for one program."""
+
+    program: str
+    regions: List[RegionReport] = field(default_factory=list)
+    replay_ok: bool = True
+    replay_mismatches: List[str] = field(default_factory=list)
+    lint: List[Dict[str, str]] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def count(self, severity: str) -> int:
+        return sum(r.count(severity) for r in self.regions)
+
+    @property
+    def unsound(self) -> int:
+        extra = 0 if self.replay_ok else 1
+        return self.count("unsound") + extra + len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return self.unsound == 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "program": self.program,
+            "ok": self.ok,
+            "severity_counts": {s: self.count(s) for s in SEVERITIES},
+            "replay_ok": self.replay_ok,
+            "replay_mismatches": list(self.replay_mismatches),
+            "regions": [r.as_dict() for r in self.regions],
+            "lint": list(self.lint),
+            "errors": list(self.errors),
+        }
+
+
+# ----------------------------------------------------------------------
+def check_region(
+    labeling: LabelingResult,
+    program: Program,
+    dynamic_facts: Optional[DynamicFacts],
+    config: CheckConfig,
+) -> RegionReport:
+    """Static + dynamic judgment of one region's labeling."""
+    region = labeling.region
+    facts = rederive_region(
+        region, program=program, enum_budget=config.enum_budget
+    )
+    refs = list(region.references)
+    report = RegionReport(
+        region=region.name,
+        references=len(refs),
+        idempotent_labels=sum(1 for r in refs if labeling.is_idempotent(r)),
+        exact=facts.exact,
+        notes=list(facts.notes),
+    )
+
+    diffs = compare_region(labeling, facts)
+    for diff in diffs:
+        if diff.direction == "production-aggressive":
+            if diff.kind == "label":
+                severity = "suspect" if facts.exact else "info"
+            else:
+                severity = "info"
+            report.findings.append(
+                Finding(
+                    severity,
+                    region.name,
+                    diff.kind,
+                    diff.key,
+                    f"production={diff.production} checker={diff.checker}"
+                    + (f" ({diff.detail})" if diff.detail else ""),
+                )
+            )
+        elif diff.kind == "label":
+            report.production_conservative += 1
+            report.findings.append(
+                Finding(
+                    "precision",
+                    region.name,
+                    diff.kind,
+                    diff.key,
+                    f"production={diff.production} checker={diff.checker}"
+                    + (f" ({diff.detail})" if diff.detail else ""),
+                )
+            )
+
+    if dynamic_facts is not None:
+        by_uid = {r.uid: r for r in refs}
+        if labeling.fully_independent:
+            # Lemma 7 regions are never squash-replayed, so per-reference
+            # re-executability is irrelevant; what must hold is the
+            # *premise*: no value-changing cross-instance hazard.  Any
+            # dynamic witness of one refutes the independence claim.
+            premise_violations = (
+                dynamic_facts.cross_flow_sink_uids
+                | dynamic_facts.cross_value_hazard_write_uids
+            )
+            for uid in sorted(premise_violations):
+                ref = by_uid.get(uid)
+                # PRIVATE references run out of per-instance storage, so
+                # sequential-trace hazards on them are expected: the
+                # trace does not privatize, the engines do.
+                if (
+                    ref is not None
+                    and labeling.category_of(ref)
+                    is not IdempotencyCategory.PRIVATE
+                ):
+                    report.findings.append(
+                        Finding(
+                            "unsound",
+                            region.name,
+                            "dynamic-independence-violation",
+                            uid,
+                            "region labeled fully independent but a "
+                            "value-changing cross-instance hazard was "
+                            f"witnessed at {ref.describe()}",
+                        )
+                    )
+            for uid in sorted(
+                dynamic_facts.rfw_violation_uids - premise_violations
+            ):
+                ref = by_uid.get(uid)
+                if ref is not None:
+                    report.findings.append(
+                        Finding(
+                            "info",
+                            region.name,
+                            "dynamic-not-reexecutable",
+                            uid,
+                            "not re-executable in isolation; sound only "
+                            "because the fully-independent region is "
+                            f"never squashed: {ref.describe()}",
+                        )
+                    )
+        else:
+            for uid in sorted(dynamic_facts.cross_flow_sink_uids):
+                ref = by_uid.get(uid)
+                if ref is not None and labeling.is_idempotent(ref):
+                    report.findings.append(
+                        Finding(
+                            "unsound",
+                            region.name,
+                            "dynamic-cross-flow",
+                            uid,
+                            "labeled idempotent but dynamically fed by a "
+                            "value-changing cross-segment write: "
+                            f"{ref.describe()}",
+                        )
+                    )
+            for uid in sorted(dynamic_facts.rfw_violation_uids):
+                ref = by_uid.get(uid)
+                if ref is not None and labeling.is_idempotent(ref):
+                    report.findings.append(
+                        Finding(
+                            "unsound",
+                            region.name,
+                            "dynamic-rfw-violation",
+                            uid,
+                            "labeled idempotent but dynamically read-before-"
+                            f"written with a changing value: {ref.describe()}",
+                        )
+                    )
+            for uid in sorted(dynamic_facts.cross_value_hazard_write_uids):
+                ref = by_uid.get(uid)
+                if (
+                    ref is not None
+                    and labeling.is_idempotent(ref)
+                    and labeling.category_of(ref)
+                    is not IdempotencyCategory.PRIVATE
+                ):
+                    report.findings.append(
+                        Finding(
+                            "unsound",
+                            region.name,
+                            "dynamic-cross-sink",
+                            uid,
+                            "labeled idempotent but dynamically the sink "
+                            "of a value-changing cross-instance "
+                            f"anti/output dependence: {ref.describe()}",
+                        )
+                    )
+        clean = dynamic_facts.clean_uids()
+        report.dynamically_clean_speculative = sum(
+            1
+            for uid in clean
+            if uid in by_uid and not labeling.is_idempotent(by_uid[uid])
+        )
+    return report
+
+
+def check_program(
+    program: Program, config: Optional[CheckConfig] = None
+) -> ProgramReport:
+    """Full differential check of one program."""
+    config = config or CheckConfig()
+    report = ProgramReport(program=program.name)
+
+    if config.lint:
+        report.lint = [
+            {
+                "severity": issue.severity,
+                "location": issue.location,
+                "message": issue.message,
+            }
+            for issue in validate_program(program, strict=False)
+        ]
+
+    labelings = label_program(program)
+
+    oracle: Optional[TraceOracle] = None
+    if config.dynamic:
+        try:
+            oracle = run_trace(program, op_budget=config.op_budget)
+        except Exception as exc:  # noqa: BLE001 - reported, not masked
+            report.errors.append(f"trace oracle failed: {exc}")
+
+    for region in program.regions:
+        labeling = labelings.get(region.name)
+        if labeling is None:  # pragma: no cover - defensive
+            continue
+        dyn = oracle.facts.get(region.name) if oracle is not None else None
+        report.regions.append(
+            check_region(labeling, program, dyn, config)
+        )
+
+    if config.replay:
+        try:
+            replay = replay_check(
+                program, labelings, op_budget=config.op_budget
+            )
+            report.replay_ok = replay.ok
+            report.replay_mismatches = replay.mismatches
+        except Exception as exc:  # noqa: BLE001 - reported, not masked
+            report.errors.append(f"squash-replay failed: {exc}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Mutation testing of the checker itself
+# ----------------------------------------------------------------------
+class _MutatedLabeling:
+    """A labeling with one speculative reference flipped to idempotent."""
+
+    def __init__(self, base: LabelingResult, flipped_uid: str):
+        self._base = base
+        self._flipped = flipped_uid
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self._base, name)
+
+    def is_idempotent(self, ref: MemoryReference) -> bool:
+        if ref.uid == self._flipped:
+            return True
+        return self._base.is_idempotent(ref)
+
+
+@dataclass
+class MutationReport:
+    """Outcome of the checker's self-test."""
+
+    mutants: int = 0
+    caught: int = 0
+    missed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.caught == self.mutants
+
+    def as_dict(self) -> Dict:
+        return {
+            "mutants": self.mutants,
+            "caught": self.caught,
+            "missed": list(self.missed),
+            "ok": self.ok,
+        }
+
+
+def mutation_check(
+    program: Program,
+    config: Optional[CheckConfig] = None,
+    max_mutants: int = 6,
+) -> MutationReport:
+    """Flip hazardous speculative labels to idempotent; all must be caught.
+
+    Candidates are references the production labeler (correctly) left
+    speculative *and* for which the trace oracle witnessed a dynamic
+    hazard -- flipping one injects a genuine mislabeling.  Each mutant
+    must be flagged by the trace judgment or the squash-replay diff.
+    """
+    config = config or CheckConfig()
+    report = MutationReport()
+    labelings = label_program(program)
+    oracle = run_trace(program, op_budget=config.op_budget)
+
+    for region in program.regions:
+        labeling = labelings.get(region.name)
+        dyn = oracle.facts.get(region.name)
+        if labeling is None or dyn is None:
+            continue
+        by_uid = {r.uid: r for r in region.references}
+        hazards = sorted(
+            dyn.cross_flow_sink_uids
+            | dyn.rfw_violation_uids
+            | dyn.cross_value_hazard_write_uids
+        )
+        for uid in hazards:
+            if report.mutants >= max_mutants:
+                break
+            ref = by_uid.get(uid)
+            if ref is None or labeling.is_idempotent(ref):
+                continue
+            report.mutants += 1
+            mutated = dict(labelings)
+            mutated[region.name] = _MutatedLabeling(labeling, uid)
+
+            caught = False
+            # The trace judgment must flag the flipped reference...
+            mutated_region = check_region(
+                mutated[region.name], program, dyn, config
+            )
+            if any(
+                f.severity == "unsound" and f.key == uid
+                for f in mutated_region.findings
+            ):
+                caught = True
+            # ...and for writes the replay diff should usually agree.
+            if not caught and config.replay:
+                replay = replay_check(
+                    program, mutated, op_budget=config.op_budget
+                )
+                caught = not replay.ok
+            if caught:
+                report.caught += 1
+            else:
+                report.missed.append(f"{region.name}:{uid}")
+    return report

@@ -8,7 +8,7 @@ variable.  This subpackage provides that substrate:
 * :mod:`repro.analysis.dependence.subscript` -- affine subscript
   extraction relative to the region loop index, inner loop indices and
   region-invariant symbols;
-* :mod:`repro.analysis.dependence.tests` -- classic ZIV / SIV / GCD /
+* :mod:`repro.analysis.dependence.subscript_tests` -- classic ZIV / SIV / GCD /
   Banerjee-style range tests that decide whether two references may
   touch the same location in the same or in different segments, and in
   which execution order;
@@ -33,7 +33,7 @@ from repro.analysis.dependence.signature import (
     signature_of,
 )
 from repro.analysis.dependence.subscript import AffineSubscript, extract_affine
-from repro.analysis.dependence.tests import (
+from repro.analysis.dependence.subscript_tests import (
     AliasRelation,
     RelationSet,
     relation_of_reference_pair,

@@ -5,7 +5,7 @@ one region, reference by reference.  Two knobs exist, both of which the
 paper's evaluation implicitly fixes:
 
 * :class:`DependenceGranularity` -- ``ELEMENT`` applies the subscript
-  tests of :mod:`repro.analysis.dependence.tests`; ``VARIABLE`` treats
+  tests of :mod:`repro.analysis.dependence.subscript_tests`; ``VARIABLE`` treats
   every pair of references to the same variable as may-aliasing (the
   whole-array behaviour of simpler prototypes).
 * :class:`DirectionMode` -- ``EXECUTION`` orients cross-segment
@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.access import linear_terms
 from repro.analysis.cache import AnalysisCache
@@ -36,7 +36,7 @@ from repro.analysis.dependence.graph import (
     dependence_kind,
 )
 from repro.analysis.dependence.signature import SignatureIndex
-from repro.analysis.dependence.tests import (
+from repro.analysis.dependence.subscript_tests import (
     ALL_RELATIONS,
     AliasRelation,
     RelationSet,

@@ -15,8 +15,8 @@ regions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.ir.reference import MemoryReference
 from repro.ir.types import AccessType, DependenceKind, DependenceScope
@@ -90,7 +90,7 @@ class DependenceGraph:
     def __len__(self) -> int:
         return len(self.dependences)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Dependence]":
         return iter(self.dependences)
 
     # ------------------------------------------------------------------

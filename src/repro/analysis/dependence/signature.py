@@ -1,7 +1,7 @@
 """Canonical subscript signatures and the signature-bucketed fast path.
 
 The classic pair loop of the dependence analyser calls
-:func:`repro.analysis.dependence.tests.relation_of_reference_pair` for
+:func:`repro.analysis.dependence.subscript_tests.relation_of_reference_pair` for
 every ordered pair of references to a variable, and that call re-derives
 the affine decomposition of every subscript and the constant iteration
 ranges of the enclosing inner loops *per pair* -- O(n^2) expression
@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.dependence.subscript import AffineSubscript, affine_subscripts_of
-from repro.analysis.dependence.tests import (
+from repro.analysis.dependence.subscript_tests import (
     ALL_RELATIONS,
     LoopBounds,
     RelationSet,
@@ -73,7 +73,7 @@ class ReferenceSignature:
 def signature_of(
     ref: MemoryReference,
     region_index: Optional[str],
-    invariant_symbols,
+    invariant_symbols: Set[str],
 ) -> ReferenceSignature:
     """Canonical signature of ``ref`` relative to the region loop."""
     if not ref.subscripts:

@@ -17,7 +17,7 @@ non-affine and forces conservative may-dependence answers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.analysis.access import linear_terms

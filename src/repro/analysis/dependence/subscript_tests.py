@@ -1,0 +1,286 @@
+"""Dependence tests.
+
+Given two references to the same array inside a loop region, the tests
+decide in which *relative execution order* the two references may touch
+the same memory location:
+
+* ``SAME``   -- within one segment (one iteration of the region loop),
+* ``BEFORE`` -- the first reference in an older segment than the second,
+* ``AFTER``  -- the first reference in a younger segment than the second.
+
+The answer is a :data:`RelationSet`; the empty set means the references
+can never alias (no dependence).  The implementation combines the
+classic single-subscript tests (ZIV, strong SIV with exact distance,
+GCD divisibility, Banerjee-style value-range disjointness) dimension by
+dimension and intersects the per-dimension answers; any dimension that
+proves independence kills the dependence.
+
+All answers are conservative: when bounds are unknown or subscripts are
+not affine the full relation set is returned (may-dependence in every
+direction), never the empty set.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.dependence.subscript import AffineSubscript, affine_subscripts_of
+from repro.ir.expr import Const, const_int
+from repro.ir.reference import MemoryReference
+from repro.ir.region import LoopRegion
+
+
+class AliasRelation(enum.Enum):
+    """Relative execution order of two potentially aliasing references."""
+
+    BEFORE = "before"  # first reference executes in an older segment
+    SAME = "same"      # both references within the same segment
+    AFTER = "after"    # first reference executes in a younger segment
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+RelationSet = FrozenSet[AliasRelation]
+
+ALL_RELATIONS: RelationSet = frozenset(
+    {AliasRelation.BEFORE, AliasRelation.SAME, AliasRelation.AFTER}
+)
+NO_ALIAS: RelationSet = frozenset()
+SAME_ONLY: RelationSet = frozenset({AliasRelation.SAME})
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """Constant description of the region loop, where available."""
+
+    lower: Optional[int]
+    upper: Optional[int]
+    step: Optional[int]
+
+    @property
+    def trip_count(self) -> Optional[int]:
+        if self.lower is None or self.upper is None or self.step is None:
+            return None
+        if self.step == 0:
+            return 0
+        return max(0, (self.upper - self.lower) // self.step + 1)
+
+    @staticmethod
+    def of_region(region: LoopRegion) -> "LoopBounds":
+        return LoopBounds(
+            lower=const_int(region.lower),
+            upper=const_int(region.upper),
+            step=const_int(region.step),
+        )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _inner_ranges(ref: MemoryReference) -> Dict[str, Optional[Tuple[int, int]]]:
+    """Constant iteration ranges of the inner loops enclosing ``ref``."""
+    out: Dict[str, Optional[Tuple[int, int]]] = {}
+    for do in ref.enclosing_loops:
+        lo = const_int(do.lower)
+        hi = const_int(do.upper)
+        st = const_int(do.step)
+        if lo is not None and hi is not None and st is not None and st != 0:
+            if st < 0:
+                lo, hi = hi, lo
+            # For strided loops [lo, hi] over-approximates the touched
+            # values, which is sound for a may-alias range.
+            out[do.index] = (lo, hi) if lo <= hi else None
+        else:
+            out[do.index] = None
+    return out
+
+
+def _payload_range(
+    sub: AffineSubscript, inner_ranges: Dict[str, Optional[Tuple[int, int]]]
+) -> Optional[Tuple[int, int]]:
+    """Value range of the subscript minus its region-index term.
+
+    Returns ``None`` when an involved inner loop has unknown bounds.
+    Symbolic invariant terms must have been cancelled by the caller.
+    """
+    lo = hi = sub.const
+    for name, coeff in sub.inner_coeffs:
+        bounds = inner_ranges.get(name)
+        if bounds is None:
+            return None
+        a, b = coeff * bounds[0], coeff * bounds[1]
+        lo += min(a, b)
+        hi += max(a, b)
+    return lo, hi
+
+
+def _relation_from_position_interval(
+    d_lo: float, d_hi: float, trip: Optional[int]
+) -> RelationSet:
+    """Relations allowed by a position-difference interval ``[d_lo, d_hi]``.
+
+    ``d`` is the execution-position of the *second* reference minus that
+    of the *first*; positive values mean the first reference runs in an
+    older segment.
+    """
+    if trip is not None:
+        d_lo = max(d_lo, -(trip - 1))
+        d_hi = min(d_hi, trip - 1)
+    if d_lo > d_hi:
+        return NO_ALIAS
+    out: Set[AliasRelation] = set()
+    if d_lo <= 0 <= d_hi:
+        out.add(AliasRelation.SAME)
+    if d_hi >= 1:
+        out.add(AliasRelation.BEFORE)
+    if d_lo <= -1:
+        out.add(AliasRelation.AFTER)
+    return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# Per-dimension test
+# ----------------------------------------------------------------------
+def dimension_relations(
+    sub_a: AffineSubscript,
+    sub_b: AffineSubscript,
+    bounds: LoopBounds,
+    inner_ranges_a: Dict[str, Optional[Tuple[int, int]]],
+    inner_ranges_b: Dict[str, Optional[Tuple[int, int]]],
+) -> RelationSet:
+    """Relations allowed by a single subscript dimension."""
+    if not sub_a.affine or not sub_b.affine:
+        return ALL_RELATIONS
+
+    # Symbolic invariant terms only cancel when identical on both sides.
+    if sub_a.symbol_coeffs != sub_b.symbol_coeffs:
+        return ALL_RELATIONS
+
+    ca, cb = sub_a.region_coeff, sub_b.region_coeff
+    range_a = _payload_range(sub_a, inner_ranges_a)
+    range_b = _payload_range(sub_b, inner_ranges_b)
+    if range_a is None or range_b is None:
+        return ALL_RELATIONS
+
+    step = bounds.step
+    trip = bounds.trip_count
+
+    if ca == cb:
+        # c * (i_a - i_b) = payload_b - payload_a
+        d_payload_lo = range_b[0] - range_a[1]
+        d_payload_hi = range_b[1] - range_a[0]
+        if ca == 0:
+            if d_payload_lo <= 0 <= d_payload_hi:
+                return ALL_RELATIONS
+            return NO_ALIAS
+        # Index difference interval (i_a - i_b).
+        idx_lo = d_payload_lo / ca
+        idx_hi = d_payload_hi / ca
+        if idx_lo > idx_hi:
+            idx_lo, idx_hi = idx_hi, idx_lo
+        # Exactness refinement: single-point payloads -> strong SIV.
+        if (
+            range_a[0] == range_a[1]
+            and range_b[0] == range_b[1]
+        ):
+            # Strong SIV with exact constant payloads.
+            delta = range_b[0] - range_a[0]
+            if delta % ca != 0:
+                return NO_ALIAS
+            # idx_delta = i_a - i_b; with i = lower + step * t this gives
+            # t_b - t_a = -idx_delta / step.
+            idx_delta = delta // ca
+            if step is not None:
+                if idx_delta % step != 0:
+                    return NO_ALIAS
+                d = -(idx_delta // step)
+                return _relation_from_position_interval(d, d, trip)
+            # Unknown step: direction unknown, but distance zero is exact.
+            if idx_delta == 0:
+                return SAME_ONLY
+            return frozenset({AliasRelation.BEFORE, AliasRelation.AFTER})
+        if step is None:
+            # Alias possible but the direction cannot be resolved.
+            return ALL_RELATIONS
+        # t_b - t_a = -(i_a - i_b)/step
+        candidates = (-idx_lo / step, -idx_hi / step)
+        return _relation_from_position_interval(min(candidates), max(candidates), trip)
+
+    # Different region-index coefficients: try a GCD divisibility test when
+    # both payloads are single constants, then a value-range test; give up
+    # conservatively otherwise.
+    if range_a[0] == range_a[1] and range_b[0] == range_b[1]:
+        rhs = range_b[0] - range_a[0]
+        g = math.gcd(abs(ca), abs(cb))
+        if g != 0 and rhs % g != 0:
+            return NO_ALIAS
+    if bounds.lower is not None and bounds.upper is not None:
+        lo_i, hi_i = sorted((bounds.lower, bounds.upper))
+        val_a = sorted((ca * lo_i, ca * hi_i))
+        val_b = sorted((cb * lo_i, cb * hi_i))
+        full_a = (val_a[0] + range_a[0], val_a[1] + range_a[1])
+        full_b = (val_b[0] + range_b[0], val_b[1] + range_b[1])
+        if full_a[1] < full_b[0] or full_b[1] < full_a[0]:
+            return NO_ALIAS
+    return ALL_RELATIONS
+
+
+# ----------------------------------------------------------------------
+# Whole-reference test
+# ----------------------------------------------------------------------
+def relation_of_reference_pair(
+    ref_a: MemoryReference,
+    ref_b: MemoryReference,
+    region: LoopRegion,
+    invariant_symbols: Set[str],
+) -> RelationSet:
+    """Relations in which ``ref_a`` and ``ref_b`` may touch the same location.
+
+    Both references must be to the same variable of the given loop
+    region.  Scalar references always alias in every relation.
+    """
+    if ref_a.variable != ref_b.variable:
+        return NO_ALIAS
+    if not ref_a.subscripts or not ref_b.subscripts:
+        return ALL_RELATIONS
+    if len(ref_a.subscripts) != len(ref_b.subscripts):
+        return ALL_RELATIONS
+
+    bounds = LoopBounds.of_region(region)
+    subs_a = affine_subscripts_of(ref_a, region.index, invariant_symbols)
+    subs_b = affine_subscripts_of(ref_b, region.index, invariant_symbols)
+    ranges_a = _inner_ranges(ref_a)
+    ranges_b = _inner_ranges(ref_b)
+
+    relations = ALL_RELATIONS
+    for sub_a, sub_b in zip(subs_a, subs_b):
+        dim = dimension_relations(sub_a, sub_b, bounds, ranges_a, ranges_b)
+        relations = relations & dim
+        if not relations:
+            return NO_ALIAS
+    return relations
+
+
+def explicit_pair_may_alias(ref_a: MemoryReference, ref_b: MemoryReference) -> bool:
+    """May-alias test for references in explicit (non-loop) regions.
+
+    Scalars to the same variable always alias.  Array references alias
+    unless every subscript pair is a pair of unequal integer constants.
+    """
+    if ref_a.variable != ref_b.variable:
+        return False
+    if not ref_a.subscripts or not ref_b.subscripts:
+        return True
+    if len(ref_a.subscripts) != len(ref_b.subscripts):
+        return True
+    provably_different = False
+    for sub_a, sub_b in zip(ref_a.subscripts, ref_b.subscripts):
+        if isinstance(sub_a, Const) and isinstance(sub_b, Const):
+            if int(sub_a.value) != int(sub_b.value):
+                provably_different = True
+        # Identical expressions trivially alias; anything else is a may.
+    return not provably_different

@@ -6,28 +6,87 @@ only matters if somebody may still read it.  A region may declare its
 live-out set explicitly (``liveout`` in the DSL); otherwise it is
 computed conservatively from the code that follows the region in the
 program: a variable is live-out when some later read of it is not
-preceded by an unconditional scalar write (arrays are never considered
-killed, and any variable referenced in loop-bound expressions of later
-regions counts as read).
+preceded by a *certainly executed* unconditional scalar write (arrays
+are never considered killed, and any variable referenced in loop-bound
+expressions of later regions counts as read).
+
+A later write only kills liveness when it is guaranteed to execute
+before any subsequent read: writes under a conditional, in a loop whose
+trip count is not provably positive, or in an explicit-region segment
+that branching may skip, must not hide a read behind them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Iterator, Set, Tuple
 
 from repro.ir.program import Program
 from repro.ir.reference import MemoryReference
-from repro.ir.region import LoopRegion, Region
+from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
 from repro.ir.types import AccessType
 
 
-def _ordered_following_references(program: Program, region: Region) -> List[MemoryReference]:
-    """All references that execute after ``region``, in program order."""
-    refs: List[MemoryReference] = []
+def _certain_segments(region: ExplicitRegion) -> Set[str]:
+    """Segments on *every* entry-to-exit path of ``region``.
+
+    A segment is certainly executed iff removing it disconnects the
+    entry from the region exit.
+    """
+    edges = region.segment_edges()
+
+    def reaches_exit_avoiding(banned: str) -> bool:
+        if region.entry == banned:
+            return False
+        seen = {region.entry}
+        stack = [region.entry]
+        while stack:
+            node = stack.pop()
+            for succ in edges.get(node, []):
+                if succ == EXIT_NODE:
+                    return True
+                if succ != banned and succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    return {
+        name
+        for name in region.segment_names()
+        if not reaches_exit_avoiding(name)
+    }
+
+
+def _following_references(
+    program: Program, region: Region
+) -> Iterator[Tuple[MemoryReference, bool]]:
+    """References executing after ``region`` in program order.
+
+    Yields ``(reference, certain)`` where ``certain`` means the
+    reference is guaranteed to execute whenever control passes the
+    region; only certain references may kill downstream liveness.
+    """
     for later in program.regions_after(region.name):
-        refs.extend(sorted(later.references, key=lambda r: r.order))
-    refs.extend(sorted(program.finale_references, key=lambda r: r.order))
-    return refs
+        if isinstance(later, LoopRegion):
+            trips = later.constant_trip_count()
+            certain = trips is not None and trips >= 1
+            for ref in sorted(later.references, key=lambda r: r.order):
+                yield ref, certain
+        else:
+            assert isinstance(later, ExplicitRegion)
+            certain_segments = _certain_segments(later)
+            # Segment listing order is sequential program order; the
+            # per-segment ``order`` only ranks references *within* one
+            # segment, so sorting the whole region by it would
+            # interleave segments.
+            for segment in later.segment_names():
+                certain = segment in certain_segments
+                refs = sorted(
+                    later.segment_references(segment), key=lambda r: r.order
+                )
+                for ref in refs:
+                    yield ref, certain
+    for ref in sorted(program.finale_references, key=lambda r: r.order):
+        yield ref, True
 
 
 def _bound_reads_of_following_regions(program: Program, region: Region) -> Set[str]:
@@ -51,14 +110,15 @@ def region_live_out(program: Program, region: Region) -> Set[str]:
 
     live: Set[str] = set(_bound_reads_of_following_regions(program, region))
     killed: Set[str] = set()
-    for ref in _ordered_following_references(program, region):
+    for ref, certain in _following_references(program, region):
         if ref.access is AccessType.READ:
             if ref.variable not in killed:
                 live.add(ref.variable)
         else:
-            # Only an unconditional scalar write kills downstream liveness;
-            # array writes rarely cover the whole array, so they never kill.
-            if not ref.subscripts and not ref.conditional:
+            # Only a certainly executed unconditional scalar write kills
+            # downstream liveness; array writes rarely cover the whole
+            # array, so they never kill.
+            if certain and not ref.subscripts and not ref.conditional:
                 killed.add(ref.variable)
     return live
 

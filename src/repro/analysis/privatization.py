@@ -24,7 +24,6 @@ from typing import Dict, Optional, Set
 from repro.analysis.access import AccessSummary, summarize_region_segments
 from repro.analysis.readonly import read_only_variables, written_variables
 from repro.ir.region import Region
-from repro.ir.types import NodeMark
 
 
 def private_variables(

@@ -1,6 +1,6 @@
 """Benchmark entry point: ``python -m repro.bench``.
 
-Four scenarios, all selected by default (``--scenarios`` narrows the
+Five scenarios, all selected by default (``--scenarios`` narrows the
 run, ``--list-scenarios`` enumerates them):
 
 ``families``
@@ -26,6 +26,13 @@ run, ``--list-scenarios`` enumerates them):
     final state bit-identical to the sequential interpreter (the
     ``chaos`` key; exit 1 on any unrecovered run; see
     ``docs/ROBUSTNESS.md``).
+
+``precision``
+    The differential label-soundness checker over the workload families
+    plus a seeded fuzz batch: idempotent labels vs provably-conservative
+    gaps vs the dynamic upper bound from the trace oracle (the
+    ``precision`` key; exit 1 on any unsound or suspect label; see
+    ``docs/ANALYSIS.md``).
 
 Common invocations::
 
@@ -75,6 +82,16 @@ from repro.bench.engines import (
     verify_engines,
 )
 from repro.bench.harness import FamilyResult, geometric_mean, measure_family
+from repro.bench.precision import (
+    PRECISION_FUZZ,
+    PRECISION_SEED,
+    PRECISION_SIZE,
+    PRECISION_SMOKE_FUZZ,
+    PRECISION_SMOKE_SIZE,
+    PRECISION_SMOKE_STATEMENTS,
+    PRECISION_STATEMENTS,
+    measure_precision,
+)
 from repro.bench.speedup import (
     SPEEDUP_CAPACITIES,
     SPEEDUP_PROCESSORS,
@@ -104,6 +121,8 @@ SCENARIOS: Dict[str, str] = {
     "speedup vs sequential",
     "chaos": "fault injection sweep: every fault kind x rate x family "
     "x engine must recover bit-identically to sequential",
+    "precision": "labeling precision vs the differential checker: "
+    "idempotent labels, provable gaps, dynamic upper bound",
 }
 
 
@@ -223,6 +242,19 @@ def _parse_args(argv):
         default=None,
         help="fault-injection seed for the chaos scenario "
         "(default: the scenario's fixed seed)",
+    )
+    parser.add_argument(
+        "--precision-fuzz",
+        type=int,
+        default=PRECISION_FUZZ,
+        help="fuzzed programs appended to the precision scenario's "
+        "family sweep",
+    )
+    parser.add_argument(
+        "--precision-seed",
+        type=int,
+        default=PRECISION_SEED,
+        help="generator seed for the precision scenario's fuzz batch",
     )
     parser.add_argument(
         "--min-seconds",
@@ -431,6 +463,31 @@ def main(argv=None) -> int:
             **chaos_kwargs,
         )
 
+    precision_section = None
+    if "precision" in selected:
+        precision_size = (
+            PRECISION_SMOKE_SIZE if args.smoke else PRECISION_SIZE
+        )
+        precision_statements = (
+            PRECISION_SMOKE_STATEMENTS if args.smoke else PRECISION_STATEMENTS
+        )
+        precision_fuzz = (
+            PRECISION_SMOKE_FUZZ if args.smoke else args.precision_fuzz
+        )
+        print(
+            f"[bench] precision: labels vs differential checker "
+            f"(size={precision_size}, statements={precision_statements}, "
+            f"fuzz={precision_fuzz}, seed={args.precision_seed}) ...",
+            flush=True,
+        )
+        precision_section = measure_precision(
+            size=precision_size,
+            statements=precision_statements,
+            families=tuple(args.families),
+            fuzz=precision_fuzz,
+            seed=args.precision_seed,
+        )
+
     report = {
         "meta": {
             "version": __version__,
@@ -451,6 +508,8 @@ def main(argv=None) -> int:
         report["speedup"] = speedup_section
     if chaos_section is not None:
         report["chaos"] = chaos_section
+    if precision_section is not None:
+        report["precision"] = precision_section
     if all("speedup" in entry for entry in families.values()) and families:
         report["summary"] = {
             "analyze_speedup_geomean": round(
@@ -578,6 +637,33 @@ def main(argv=None) -> int:
         print(
             "[bench] chaos check OK (every faulted run recovered "
             "bit-identically to sequential)"
+        )
+    if precision_section is not None:
+        rows = dict(precision_section["families"])
+        rows["fuzzed"] = precision_section["fuzzed"]
+        for name, entry in rows.items():
+            pct = entry["precision_percent"]
+            print(
+                f"[bench] {name:<10} precision: "
+                f"{entry['idempotent_labels']:>5} idempotent, "
+                f"{entry['production_conservative']:>3} provably "
+                f"conservative, "
+                f"{entry['dynamically_clean_speculative']:>4} dynamically "
+                f"clean  "
+                f"({pct if pct is not None else '-'}%)"
+            )
+        totals = precision_section["totals"]
+        if totals["unsound"] or totals["suspect"]:
+            print(
+                f"[bench] WARNING: checker found {totals['unsound']} "
+                f"unsound and {totals['suspect']} suspect labels",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"[bench] precision check OK (0 unsound labels; overall "
+            f"{totals['precision_percent']}% of provably-idempotent "
+            f"references labeled)"
         )
     return 0
 

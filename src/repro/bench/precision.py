@@ -1,0 +1,114 @@
+"""Labeling-precision scenario.
+
+Runs the differential label-soundness checker (:mod:`repro.analysis.checker`)
+over the benchmark workload families and a seeded fuzz batch and reports,
+per family, how sharp the production labels are:
+
+* ``idempotent_labels`` -- references production proves idempotent,
+* ``production_conservative`` -- references the checker's exact
+  re-derivation proves idempotent but production leaves speculative
+  (each is also a ``precision`` finding),
+* ``dynamically_clean_speculative`` -- speculative-labeled references
+  the dynamic trace oracle observed no hazard for (an upper bound on
+  what any static analysis could still win),
+* ``precision_percent`` -- idempotent / (idempotent + conservative).
+
+Soundness is asserted as a side effect: any ``unsound`` finding or
+replay mismatch fails the scenario (non-zero ``unsound`` count in the
+returned section; the CLI turns that into exit 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.checker import CheckConfig, check_program
+from repro.bench.workloads import FAMILIES, generate
+from repro.corpus import corpus
+
+#: Default dynamic size per family (kept small: the checker replays
+#: every instance and enumerates addresses exactly).
+PRECISION_SIZE = 24
+PRECISION_SMOKE_SIZE = 8
+PRECISION_STATEMENTS = 6
+PRECISION_SMOKE_STATEMENTS = 3
+#: Fuzzed programs appended to the family sweep.
+PRECISION_FUZZ = 25
+PRECISION_SMOKE_FUZZ = 5
+PRECISION_SEED = 20260807
+
+
+def _empty_bucket() -> Dict[str, int]:
+    return {
+        "programs": 0,
+        "regions": 0,
+        "references": 0,
+        "idempotent_labels": 0,
+        "production_conservative": 0,
+        "dynamically_clean_speculative": 0,
+        "unsound": 0,
+        "suspect": 0,
+    }
+
+
+def _accumulate(bucket: Dict[str, int], report) -> None:
+    bucket["programs"] += 1
+    bucket["unsound"] += report.unsound
+    bucket["suspect"] += report.count("suspect")
+    for region in report.regions:
+        bucket["regions"] += 1
+        bucket["references"] += region.references
+        bucket["idempotent_labels"] += region.idempotent_labels
+        bucket["production_conservative"] += region.production_conservative
+        bucket["dynamically_clean_speculative"] += (
+            region.dynamically_clean_speculative
+        )
+
+
+def _finish_bucket(bucket: Dict[str, int]) -> Dict:
+    labelled = bucket["idempotent_labels"]
+    denominator = labelled + bucket["production_conservative"]
+    out: Dict = dict(bucket)
+    out["precision_percent"] = (
+        round(100.0 * labelled / denominator, 2) if denominator else None
+    )
+    return out
+
+
+def measure_precision(
+    size: int = PRECISION_SIZE,
+    statements: int = PRECISION_STATEMENTS,
+    families: Tuple[str, ...] = FAMILIES,
+    fuzz: int = PRECISION_FUZZ,
+    seed: int = PRECISION_SEED,
+    config: Optional[CheckConfig] = None,
+) -> Dict:
+    """The ``precision`` section of the benchmark report."""
+    config = config or CheckConfig()
+    per_family: Dict[str, Dict] = {}
+    totals = _empty_bucket()
+
+    for family in families:
+        bucket = _empty_bucket()
+        workload = generate(family, size=size, statements=statements)
+        report = check_program(workload.program, config=config)
+        _accumulate(bucket, report)
+        _accumulate(totals, report)
+        per_family[family] = _finish_bucket(bucket)
+
+    fuzz_bucket = _empty_bucket()
+    for _index, program in corpus(fuzz, seed=seed):
+        report = check_program(program, config=config)
+        _accumulate(fuzz_bucket, report)
+        _accumulate(totals, report)
+
+    section = {
+        "size": size,
+        "statements": statements,
+        "fuzz": fuzz,
+        "seed": seed,
+        "families": per_family,
+        "fuzzed": _finish_bucket(fuzz_bucket),
+        "totals": _finish_bucket(totals),
+    }
+    return section

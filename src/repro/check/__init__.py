@@ -1,0 +1,7 @@
+"""``python -m repro.check`` -- the differential label-soundness gate.
+
+Thin CLI over :mod:`repro.analysis.checker`: checks the benchmark
+workload families and/or a seeded fuzz batch, writes a machine-readable
+JSON report, and exits non-zero when any label is unsound.  See
+``docs/ANALYSIS.md`` for the underlying semantics.
+"""

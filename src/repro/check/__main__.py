@@ -1,0 +1,227 @@
+"""Command-line driver of the differential label-soundness checker.
+
+Examples::
+
+    # Gate the four benchmark workload families.
+    python -m repro.check --families
+
+    # Differentially check 500 seeded generated programs.
+    python -m repro.check --fuzz 500 --seed 20260807
+
+    # Self-test: injected mislabelings must all be caught.
+    python -m repro.check --families --mutation
+
+    # Everything CI runs, with the report artifact.
+    python -m repro.check --families --fuzz 500 --seed 20260807 \
+        --mutation --out CHECK_report.json
+
+Exit status is 1 when any unsound label, replay divergence, checker
+error, or missed mutation is found, 0 otherwise.  ``suspect`` /
+``precision`` findings are reported but do not gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.checker import CheckConfig, check_program, mutation_check
+from repro.bench.workloads import FAMILIES, generate_suite
+from repro.corpus import generate_program
+
+SEVERITIES = ("unsound", "suspect", "precision", "info")
+
+
+def _empty_totals() -> Dict[str, int]:
+    totals = {s: 0 for s in SEVERITIES}
+    totals.update(
+        programs=0,
+        failed_programs=0,
+        regions=0,
+        references=0,
+        idempotent_labels=0,
+        production_conservative=0,
+        dynamically_clean_speculative=0,
+        replay_failures=0,
+        errors=0,
+    )
+    return totals
+
+
+def _accumulate(totals: Dict[str, int], report) -> None:
+    totals["programs"] += 1
+    if not report.ok:
+        totals["failed_programs"] += 1
+    if not report.replay_ok:
+        totals["replay_failures"] += 1
+    totals["errors"] += len(report.errors)
+    for severity in SEVERITIES:
+        totals[severity] += report.count(severity)
+    for region in report.regions:
+        totals["regions"] += 1
+        totals["references"] += region.references
+        totals["idempotent_labels"] += region.idempotent_labels
+        totals["production_conservative"] += region.production_conservative
+        totals["dynamically_clean_speculative"] += (
+            region.dynamically_clean_speculative
+        )
+
+
+def _precision_percent(totals: Dict[str, int]) -> Optional[float]:
+    labelled = totals["idempotent_labels"]
+    conservative = totals["production_conservative"]
+    denominator = labelled + conservative
+    if denominator == 0:
+        return None
+    return round(100.0 * labelled / denominator, 2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Differential label-soundness checker.",
+    )
+    parser.add_argument(
+        "--families",
+        action="store_true",
+        help="check the benchmark workload families",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="check N seeded generated programs",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="corpus seed (default 1)"
+    )
+    parser.add_argument(
+        "--mutation",
+        action="store_true",
+        help="also flip hazardous labels and require every mutant caught",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the squash-replay simulation (static + trace only)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the JSON report to PATH"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every finding"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.families and args.fuzz <= 0:
+        parser.error("nothing to do: pass --families and/or --fuzz N")
+
+    config = CheckConfig(replay=not args.no_replay)
+    started = time.time()
+    totals = _empty_totals()
+    programs_out: List[Dict] = []
+    failures: List[str] = []
+    mutation_out: List[Dict] = []
+
+    def run_one(label: str, program) -> None:
+        report = check_program(program, config)
+        _accumulate(totals, report)
+        payload = report.as_dict()
+        payload["source"] = label
+        # The full per-program payload only for interesting programs;
+        # the report stays readable at fuzz scale.
+        interesting = (
+            not report.ok
+            or report.count("suspect") > 0
+            or report.count("precision") > 0
+        )
+        if interesting:
+            programs_out.append(payload)
+        if not report.ok:
+            failures.append(label)
+        if args.verbose or not report.ok:
+            for region in report.regions:
+                for finding in region.findings:
+                    print(
+                        f"[{finding.severity}] {label} {finding.region} "
+                        f"{finding.kind} {finding.key}: {finding.message}"
+                    )
+            for mismatch in report.replay_mismatches:
+                print(f"[unsound] {label} replay: {mismatch}")
+            for error in report.errors:
+                print(f"[error] {label}: {error}")
+        if args.mutation:
+            mutation = mutation_check(program, config)
+            mutation_out.append(
+                {"source": label, **mutation.as_dict()}
+            )
+            if not mutation.ok:
+                failures.append(f"{label} (mutation escaped)")
+                for missed in mutation.missed:
+                    print(f"[mutation-missed] {label}: {missed}")
+
+    if args.families:
+        for workload in generate_suite():
+            run_one(f"family:{workload.family}", workload.program)
+    for index in range(args.fuzz):
+        label = f"fuzz:{args.seed}/{index}"
+        try:
+            program = generate_program(args.seed, index)
+        except Exception as exc:  # noqa: BLE001 - generator bug = failure
+            failures.append(label)
+            totals["errors"] += 1
+            print(f"[error] {label}: generation failed: {exc}")
+            continue
+        run_one(label, program)
+
+    mutants = sum(m["mutants"] for m in mutation_out)
+    caught = sum(m["caught"] for m in mutation_out)
+    summary = {
+        "command": {
+            "families": list(FAMILIES) if args.families else [],
+            "fuzz": args.fuzz,
+            "seed": args.seed,
+            "mutation": args.mutation,
+            "replay": not args.no_replay,
+        },
+        "totals": totals,
+        "precision_percent": _precision_percent(totals),
+        "mutation": {"mutants": mutants, "caught": caught},
+        "failures": failures,
+        "elapsed_seconds": round(time.time() - started, 2),
+    }
+    report = {
+        "summary": summary,
+        "programs": programs_out,
+        "mutation_details": [m for m in mutation_out if not m["ok"]],
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"report written to {args.out}")
+
+    ok = not failures
+    print(
+        f"checked {totals['programs']} programs / {totals['regions']} regions "
+        f"/ {totals['references']} references: "
+        f"{totals['unsound']} unsound, {totals['suspect']} suspect, "
+        f"{totals['precision']} precision, "
+        f"{totals['replay_failures']} replay failures"
+        + (f", {caught}/{mutants} mutants caught" if args.mutation else "")
+    )
+    if summary["precision_percent"] is not None:
+        print(
+            f"label precision vs checker: {summary['precision_percent']}% "
+            f"({totals['production_conservative']} provably-idempotent "
+            "references left speculative)"
+        )
+    print("OK" if ok else "FAILED: " + ", ".join(failures[:10]))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Seeded program corpus for fuzz-scale verification.
+
+The first slice of the ROADMAP's corpus direction: a deterministic
+generator of small adversarial DSL programs
+(:mod:`repro.corpus.generator`) used by ``python -m repro.check
+--fuzz`` to drive the differential label-soundness checker over
+hundreds of programs per CI run.
+"""
+
+from repro.corpus.generator import (
+    corpus,
+    generate_program,
+    generate_source,
+)
+
+__all__ = ["corpus", "generate_program", "generate_source"]

@@ -1,0 +1,240 @@
+"""Seeded random program generator for fuzz-scale differential checking.
+
+Generates small but adversarial DSL programs exercising the analysis
+corners where labeler bugs hide:
+
+* subscript patterns: identity ``a(i)``, shifted ``a(i±k)``, constant
+  ``a(c)``, strided inner-loop ``a(t)`` with step 1 or 2, and indirect
+  ``a(idx(i))`` (non-affine -- forces the conservative paths);
+* scalar reductions, private-candidate temporaries, guarded
+  assignments, ``if/then/else`` diamonds, nested loops;
+* loop regions with forward, backward and strided iteration spaces,
+  and occasionally explicit segment regions with a branch diamond.
+
+Everything is seeded: ``generate_source(seed)`` is a pure function of
+its arguments, so any corpus finding is reproducible from
+``(seed, index)`` alone.  Extents are generous (arrays of 32) and
+every generated subscript is confined to the declared extent by
+construction, so generated programs execute without address errors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.ir.dsl import parse_program
+from repro.ir.program import Program
+
+#: Array extent used by every generated array.
+EXTENT = 32
+#: Region index never exceeds this.
+MAX_TRIP = 8
+#: Largest subscript shift; EXTENT - MAX_TRIP - MAX_SHIFT stays safe.
+MAX_SHIFT = 3
+
+_ARRAYS = ("a", "b", "c")
+_SCALARS = ("s", "u", "w")
+
+
+class _Gen:
+    """One program's worth of generator state."""
+
+    def __init__(self, rng: random.Random, name: str):
+        self.rng = rng
+        self.name = name
+        self.lines: List[str] = []
+
+    # -- helpers --------------------------------------------------------
+    def pick_array(self) -> str:
+        return self.rng.choice(_ARRAYS)
+
+    def pick_scalar(self) -> str:
+        return self.rng.choice(_SCALARS)
+
+    def subscript(self, index: str, allow_indirect: bool = True) -> str:
+        """A safe subscript expression in terms of loop index ``index``."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            return index
+        if roll < 0.65:
+            # Positive shifts only: the smallest index value is 1, so a
+            # negative shift could escape the declared extent.  Distinct
+            # shifts between references still produce cross-iteration
+            # dependences in both directions.
+            return f"{index} + {self.rng.randint(1, MAX_SHIFT)}"
+        if roll < 0.85:
+            return str(self.rng.randint(1, MAX_TRIP))
+        if allow_indirect:
+            return f"idx({index})"
+        return index
+
+    def value_expr(self, index: str, depth: int = 0) -> str:
+        """A right-hand side reading arrays/scalars/the index."""
+        rng = self.rng
+        roll = rng.random()
+        if depth >= 2 or roll < 0.25:
+            return rng.choice(
+                (
+                    f"{rng.randint(1, 9)}.0",
+                    index,
+                    self.pick_scalar(),
+                )
+            )
+        if roll < 0.65:
+            arr = self.pick_array()
+            return f"{arr}({self.subscript(index)})"
+        left = self.value_expr(index, depth + 1)
+        right = self.value_expr(index, depth + 1)
+        op = rng.choice(("+", "-", "*", "+"))
+        return f"{left} {op} {right}"
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("  " * indent + text)
+
+    # -- statement menu -------------------------------------------------
+    def gen_statement(self, index: str, indent: int, depth: int = 0) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:  # array store
+            arr = self.pick_array()
+            self.emit(
+                indent,
+                f"{arr}({self.subscript(index)}) = {self.value_expr(index)}",
+            )
+        elif roll < 0.50:  # reduction
+            s = self.pick_scalar()
+            self.emit(indent, f"{s} = {s} + {self.value_expr(index)}")
+        elif roll < 0.62:  # scalar overwrite (private candidate)
+            s = self.pick_scalar()
+            self.emit(indent, f"{s} = {self.value_expr(index)}")
+        elif roll < 0.72 and depth < 2:  # guarded assignment
+            arr = self.pick_array()
+            guard = f"{self.pick_scalar()} > {rng.randint(0, 4)}.5"
+            self.emit(
+                indent,
+                f"if ({guard}) {arr}({self.subscript(index)}) = "
+                f"{self.value_expr(index)}",
+            )
+        elif roll < 0.84 and depth < 2:  # if/then/else diamond
+            cond = (
+                f"{self.pick_array()}({self.subscript(index, False)}) "
+                f"> {rng.randint(1, 6)}.0"
+            )
+            self.emit(indent, f"if ({cond}) then")
+            for _ in range(rng.randint(1, 2)):
+                self.gen_statement(index, indent + 1, depth + 1)
+            if rng.random() < 0.6:
+                self.emit(indent, "else")
+                for _ in range(rng.randint(1, 2)):
+                    self.gen_statement(index, indent + 1, depth + 1)
+            self.emit(indent, "end if")
+        elif depth < 2:  # inner loop, stride 1 or 2
+            inner = "t" if index != "t" else "v"
+            step = rng.choice((1, 1, 2))
+            hi = rng.randint(2, MAX_TRIP)
+            head = f"do {inner} = 1, {hi}"
+            if step != 1:
+                head += f", {step}"
+            self.emit(indent, head)
+            for _ in range(rng.randint(1, 2)):
+                self.gen_statement(inner, indent + 1, depth + 1)
+            self.emit(indent, "end do")
+        else:
+            s = self.pick_scalar()
+            self.emit(indent, f"{s} = {s} + 1.0")
+
+    # -- regions --------------------------------------------------------
+    def gen_loop_region(self, rid: int) -> None:
+        rng = self.rng
+        lo, hi, step = 1, rng.randint(3, MAX_TRIP), 1
+        if rng.random() < 0.15:
+            lo, hi, step = hi, 1, -1
+        elif rng.random() < 0.12:
+            step = 2
+        head = f"region R{rid} do i = {lo}, {hi}"
+        if step != 1:
+            head += f", {step}"
+        self.emit(0, head)
+        for _ in range(rng.randint(2, 5)):
+            self.gen_statement("i", 1)
+        self.emit(0, "end region")
+
+    def gen_explicit_region(self, rid: int) -> None:
+        rng = self.rng
+        self.emit(0, f"region R{rid} explicit")
+        names = [f"S{k}" for k in range(rng.randint(2, 4))]
+        diamond = len(names) >= 3 and rng.random() < 0.6
+        for pos, name in enumerate(names):
+            self.emit(1, f"segment {name}")
+            for _ in range(rng.randint(1, 3)):
+                self.gen_statement(str(rng.randint(1, MAX_TRIP)), 2)
+            if diamond and pos == 0:
+                self.emit(2, f"branch {self.pick_scalar()} > 1.0")
+            self.emit(1, "end segment")
+        if diamond:
+            first = names[0]
+            arms = names[1:-1] if len(names) >= 4 else names[1:]
+            last = names[-1] if len(names) >= 4 else None
+            for arm in arms:
+                self.emit(1, f"edges {first} -> {arm}")
+                if last is not None:
+                    self.emit(1, f"edges {arm} -> {last}")
+        else:
+            for src, dst in zip(names, names[1:]):
+                self.emit(1, f"edges {src} -> {dst}")
+        self.emit(0, "end region")
+
+    # -- whole program --------------------------------------------------
+    def generate(self) -> str:
+        rng = self.rng
+        self.emit(0, f"program {self.name}")
+        for arr in _ARRAYS:
+            self.emit(0, f"real {arr}({EXTENT})")
+        self.emit(0, f"integer idx({EXTENT})")
+        for s in _SCALARS:
+            self.emit(0, f"real {s}")
+        self.emit(0, "")
+        self.emit(0, "init")
+        for pos, arr in enumerate(_ARRAYS):
+            self.emit(1, f"do t = 1, {EXTENT}")
+            self.emit(2, f"{arr}(t) = {pos + 1} * t")
+            self.emit(1, "end do")
+        self.emit(1, f"do t = 1, {EXTENT}")
+        # Indirection targets stay inside [1, MAX_TRIP + MAX_SHIFT].
+        self.emit(2, f"idx(t) = 1 + mod(5 * t, {MAX_TRIP + MAX_SHIFT})")
+        self.emit(1, "end do")
+        for pos, s in enumerate(_SCALARS):
+            self.emit(1, f"{s} = {pos}.5")
+        self.emit(0, "end init")
+        self.emit(0, "")
+        for rid in range(rng.randint(1, 3)):
+            if rng.random() < 0.18:
+                self.gen_explicit_region(rid)
+            else:
+                self.gen_loop_region(rid)
+            self.emit(0, "")
+        self.emit(0, "finale")
+        for s in _SCALARS:
+            arr = self.pick_array()
+            self.emit(1, f"{s} = {s} + {arr}({rng.randint(1, EXTENT)})")
+        self.emit(0, "end finale")
+        self.emit(0, "end program")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(seed: int, index: int = 0) -> str:
+    """DSL source of generated program ``index`` under ``seed``."""
+    rng = random.Random(seed * 1_000_003 + index)
+    return _Gen(rng, f"fuzz_{seed}_{index}").generate()
+
+
+def generate_program(seed: int, index: int = 0) -> Program:
+    """Parsed program ``index`` under ``seed``."""
+    return parse_program(generate_source(seed, index))
+
+
+def corpus(count: int, seed: int) -> Iterator[Tuple[int, Program]]:
+    """Yield ``(index, program)`` for a whole seeded batch."""
+    for index in range(count):
+        yield index, generate_program(seed, index)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.idempotency.labeling import LabelingResult
-from repro.ir.types import AccessType, IdempotencyCategory, RefLabel
+from repro.ir.types import IdempotencyCategory
 
 
 @dataclass

@@ -41,13 +41,14 @@ conservative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.analysis.access import AccessSummary, summarize_region_segments
 from repro.analysis.cfg import SegmentGraph
 from repro.analysis.readonly import read_only_variables
+from repro.ir.reference import MemoryReference
 from repro.ir.region import EXIT_NODE, ExplicitRegion, LOOP_BODY_SEGMENT, LoopRegion, Region
-from repro.ir.types import AccessType, NodeColor, NodeMark
+from repro.ir.types import NodeColor, NodeMark
 
 
 @dataclass
@@ -65,7 +66,7 @@ class RFWResult:
     #: (the ``RFW(R_i)`` sets used in the Figure 2 walk-through).
     rfw_variables: Dict[str, Set[str]] = field(default_factory=dict)
 
-    def is_rfw(self, ref) -> bool:
+    def is_rfw(self, ref: MemoryReference) -> bool:
         """True when the given write reference is a re-occurring first write."""
         return ref.uid in self.rfw_write_uids
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence, Tuple, Union
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
 #: Signature of the memory-read callback used by :meth:`Expr.evaluate`.
@@ -351,6 +351,25 @@ class Call(Expr):
 # Convenience constructors
 # ----------------------------------------------------------------------
 ExprLike = Union[Expr, Number, str]
+
+
+def const_int(expr: Expr) -> Optional[int]:
+    """Integer value of a constant expression, folding unary minus.
+
+    The DSL parses ``-1`` as ``UnaryOp('-', Const(1))``, so bound
+    checks that only accept :class:`Const` silently miss negative
+    literals (e.g. a backward loop's step).  Returns ``None`` for
+    anything non-constant or non-integral.
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        if float(value) == int(value):
+            return int(value)
+        return None
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = const_int(expr.operand)
+        return -inner if inner is not None else None
+    return None
 
 
 def as_expr(value: ExprLike) -> Expr:

@@ -13,12 +13,12 @@ parallel.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ir.reference import MemoryReference, assign_statement_ids, extract_references
 from repro.ir.region import Region
 from repro.ir.stmt import Statement
-from repro.ir.symbols import Symbol, SymbolTable
+from repro.ir.symbols import SymbolTable
 
 
 class ProgramError(Exception):

@@ -27,15 +27,15 @@ from those references.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.ir.expr import Const, Expr, ExprLike, as_expr
+from repro.ir.expr import Const, Expr, ExprLike, as_expr, const_int
 from repro.ir.reference import (
     MemoryReference,
     assign_statement_ids,
     extract_references,
 )
-from repro.ir.segment import Segment, SegmentError
+from repro.ir.segment import Segment
 from repro.ir.stmt import Statement
 from repro.ir.types import RegionKind
 
@@ -168,16 +168,14 @@ class LoopRegion(Region):
 
     def constant_trip_count(self) -> Optional[int]:
         """Trip count when bounds are constants, else ``None``."""
-        if (
-            isinstance(self.lower, Const)
-            and isinstance(self.upper, Const)
-            and isinstance(self.step, Const)
-        ):
-            lo, hi, st = self.lower.value, self.upper.value, self.step.value
-            if st == 0:
-                return 0
-            return max(0, int((hi - lo) // st + 1))
-        return None
+        lo = const_int(self.lower)
+        hi = const_int(self.upper)
+        st = const_int(self.step)
+        if lo is None or hi is None or st is None:
+            return None
+        if st == 0:
+            return 0
+        return max(0, (hi - lo) // st + 1)
 
 
 class ExplicitRegion(Region):

@@ -176,19 +176,16 @@ class Do(Statement):
 
     def constant_trip_count(self) -> Optional[int]:
         """Trip count when all bounds are integer constants, else ``None``."""
-        from repro.ir.expr import Const
+        from repro.ir.expr import const_int
 
-        if (
-            isinstance(self.lower, Const)
-            and isinstance(self.upper, Const)
-            and isinstance(self.step, Const)
-        ):
-            lo, hi, st = self.lower.value, self.upper.value, self.step.value
-            if st == 0:
-                return 0
-            count = (hi - lo) // st + 1
-            return max(0, int(count))
-        return None
+        lo = const_int(self.lower)
+        hi = const_int(self.upper)
+        st = const_int(self.step)
+        if lo is None or hi is None or st is None:
+            return None
+        if st == 0:
+            return 0
+        return max(0, (hi - lo) // st + 1)
 
     def __str__(self) -> str:
         return (

@@ -10,6 +10,16 @@ failures deep inside analyses or the execution engines:
   expressions on multi-successor segments, edges to unknown segments),
 * empty regions.
 
+A lint layer catches mistakes that are structurally legal but almost
+certainly unintended:
+
+* constant subscripts outside the declared array extent (*error* --
+  execution would raise an address error),
+* statically unreachable statements: branches of a constant ``IF``
+  condition and bodies of zero-trip loops (*warning*),
+* non-affine subscript expressions, which defeat every subscript test
+  and force worst-case dependence assumptions (*info*).
+
 Validation returns a list of :class:`ValidationIssue`; callers decide
 whether warnings are fatal.  :func:`validate_program` with
 ``strict=True`` raises on any *error*-severity issue.
@@ -18,11 +28,13 @@ whether warnings are fatal.  :func:`validate_program` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
+from repro.ir.expr import BinOp, Call, Const, Expr, Index, UnaryOp, Var
 from repro.ir.program import Program
 from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
 from repro.ir.reference import MemoryReference
+from repro.ir.stmt import Assign, Do, If, Statement
 
 
 class ValidationError(Exception):
@@ -33,7 +45,7 @@ class ValidationError(Exception):
 class ValidationIssue:
     """One finding of the validator."""
 
-    severity: str  # "error" | "warning"
+    severity: str  # "error" | "warning" | "info"
     location: str
     message: str
 
@@ -78,6 +90,105 @@ def _check_reference(
                 f"{len(ref.subscripts)} subscripts were given",
             )
         )
+        return
+    if symbol.is_array and ref.subscripts:
+        for dim, (sub, extent) in enumerate(
+            zip(ref.subscripts, symbol.shape), start=1
+        ):
+            if isinstance(sub, Const):
+                value = int(sub.value)
+                if not 1 <= value <= extent:
+                    issues.append(
+                        ValidationIssue(
+                            "error",
+                            location,
+                            f"constant subscript {value} of "
+                            f"{ref.variable!r} dimension {dim} is outside "
+                            f"the declared extent 1..{extent}",
+                        )
+                    )
+            elif not _is_affine(sub):
+                issues.append(
+                    ValidationIssue(
+                        "info",
+                        location,
+                        f"non-affine subscript in dimension {dim} of "
+                        f"{ref.variable!r}; subscript tests degrade to "
+                        "worst-case dependence assumptions",
+                    )
+                )
+
+
+def _is_affine(expr: Expr) -> bool:
+    """True when ``expr`` is a sum of constants and scaled variables."""
+    if isinstance(expr, (Const, Var)):
+        return True
+    if isinstance(expr, UnaryOp):
+        return expr.op == "-" and _is_affine(expr.operand)
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            return _is_affine(expr.left) and _is_affine(expr.right)
+        if expr.op == "*":
+            return (
+                isinstance(expr.left, Const)
+                and _is_affine(expr.right)
+                or isinstance(expr.right, Const)
+                and _is_affine(expr.left)
+            )
+        return False
+    if isinstance(expr, (Index, Call)):
+        return False
+    return False
+
+
+def _lint_body(
+    location: str, body: Sequence[Statement], issues: List[ValidationIssue]
+) -> None:
+    """Flag statically unreachable statements inside ``body``."""
+    for stmt in body:
+        tag = f"{location}:{stmt.sid}" if stmt.sid else location
+        if isinstance(stmt, If):
+            if isinstance(stmt.cond, Const):
+                taken = bool(stmt.cond.value)
+                dead = "else" if taken else "then"
+                if taken and not stmt.else_body:
+                    pass  # no dead arm to report
+                else:
+                    issues.append(
+                        ValidationIssue(
+                            "warning",
+                            tag,
+                            f"IF condition is constant; the {dead} branch "
+                            "is unreachable",
+                        )
+                    )
+            _lint_body(location, stmt.then_body, issues)
+            _lint_body(location, stmt.else_body, issues)
+        elif isinstance(stmt, Do):
+            if stmt.constant_trip_count() == 0:
+                issues.append(
+                    ValidationIssue(
+                        "warning",
+                        tag,
+                        "loop has a constant zero trip count; its body "
+                        "is unreachable",
+                    )
+                )
+            _lint_body(location, stmt.body, issues)
+        elif isinstance(stmt, Assign):
+            if isinstance(stmt.guard, Const):
+                issues.append(
+                    ValidationIssue(
+                        "warning",
+                        tag,
+                        "assignment guard is constant"
+                        + (
+                            ""
+                            if bool(stmt.guard.value)
+                            else "; the assignment is unreachable"
+                        ),
+                    )
+                )
 
 
 def _check_explicit_region(
@@ -141,8 +252,13 @@ def validate_region(program: Program, region: Region) -> List[ValidationIssue]:
         _check_reference(program, ref, issues)
     if isinstance(region, ExplicitRegion):
         _check_explicit_region(region, issues)
+        for name in region.segment_names():
+            _lint_body(
+                f"{region.name}.{name}", region.segment_body(name), issues
+            )
     elif isinstance(region, LoopRegion):
         _check_loop_region(region, issues)
+        _lint_body(region.name, region.body, issues)
     return issues
 
 
@@ -155,6 +271,8 @@ def validate_program(program: Program, strict: bool = False) -> List[ValidationI
     issues: List[ValidationIssue] = []
     for ref in program.init_references + program.finale_references:
         _check_reference(program, ref, issues)
+    _lint_body(f"{program.name}.init", program.init, issues)
+    _lint_body(f"{program.name}.finale", program.finale, issues)
     for region in program.regions:
         issues.extend(validate_region(program, region))
     if strict:

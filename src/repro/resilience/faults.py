@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.runtime.errors import FaultInjected
 from repro.runtime.executor import ReadOp, WriteOp

@@ -23,11 +23,12 @@ forces the interpreter path everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.ir.program import Program
 from repro.ir.region import (
     EXIT_NODE,
+    LOOP_BODY_SEGMENT,
     ExplicitRegion,
     LoopRegion,
     Region,
@@ -40,7 +41,6 @@ from repro.runtime.errors import (
     SimulationError,
 )
 from repro.runtime.executor import (
-    ComputeOp,
     ReadOp,
     SegmentCoroutine,
     WriteOp,
@@ -58,6 +58,38 @@ from repro.runtime.trace import (
 
 #: Safety valve for explicit regions whose edges form a cycle.
 MAX_EXPLICIT_STEPS = 100_000
+
+#: Pseudo segment names reported to observers for the serial sections.
+INIT_SEGMENT = "<init>"
+FINALE_SEGMENT = "<finale>"
+
+
+class ExecutionObserver:
+    """Passive observer of one sequential execution.
+
+    Subclass and override; every method is a no-op by default.  The
+    interpreter reports each segment instance (loop iteration, explicit
+    segment execution, or the init/finale serial sections with
+    ``region=None``) and, inside it, every memory operation with its
+    resolved flat ``(variable, offset)`` address.  Reads evaluated
+    outside segment bodies (region loop bounds, explicit branch
+    conditions) go through ``MemoryImage.read`` directly and are *not*
+    reported.
+    """
+
+    def begin_segment(
+        self, region: Optional[str], segment: str, instance: int
+    ) -> None:
+        """A segment instance is about to execute."""
+
+    def end_segment(self) -> None:
+        """The current segment instance finished."""
+
+    def on_read(self, ref, address, value) -> None:
+        """One read: static reference (or None), address, value seen."""
+
+    def on_write(self, ref, address, old_value, new_value) -> None:
+        """One write: static reference (or None), address, old and new."""
 
 
 @dataclass
@@ -89,6 +121,7 @@ class SequentialInterpreter:
         model_latency: bool = True,
         op_hook: Optional[Callable[[str, int], None]] = None,
         compute_cost: Optional[Callable] = None,
+        observer: Optional[ExecutionObserver] = None,
     ):
         self.program = program
         self.op_budget = op_budget
@@ -103,6 +136,9 @@ class SequentialInterpreter:
         #: default compute costs into traces, so a custom hook forces
         #: the interpreter path.
         self.compute_cost = compute_cost
+        #: Optional :class:`ExecutionObserver` fed every segment
+        #: instance and memory operation (both execution paths).
+        self.observer = observer
         if compute_cost is not None:
             self.use_replay = False
         self.hierarchy = MemoryHierarchy(latencies=latencies)
@@ -116,10 +152,19 @@ class SequentialInterpreter:
         result = SequentialResult(
             program=self.program.name, memory=memory, stats=stats
         )
+        observer = self.observer
+        if observer is not None and self.program.init:
+            observer.begin_segment(None, INIT_SEGMENT, 0)
         self._run_body(self.program.init, memory, stats)
+        if observer is not None and self.program.init:
+            observer.end_segment()
         for region in self.program.regions:
             self._run_region(region, memory, stats, result)
+        if observer is not None and self.program.finale:
+            observer.begin_segment(None, FINALE_SEGMENT, 0)
         self._run_body(self.program.finale, memory, stats)
+        if observer is not None and self.program.finale:
+            observer.end_segment()
         return result
 
     # ------------------------------------------------------------------
@@ -144,6 +189,7 @@ class SequentialInterpreter:
         missing = object()
         send = coroutine.send
         op_hook = self.op_hook
+        observer = self.observer
         reads = writes = cycles = mem_cycles = 0
         try:
             op = send(None)
@@ -163,10 +209,18 @@ class SequentialInterpreter:
                         mem_cycles += access_latency(address)
                     if op_hook is not None:
                         op_hook("read", 0)
+                    if observer is not None:
+                        observer.on_read(ref, address, value)
                     op = send(value)
                 elif cls is WriteOp:
                     address = address_of(op.variable, op.subscripts)
-                    values[address] = float(op.value)
+                    new_value = float(op.value)
+                    if observer is not None:
+                        old_value = values.get(address, missing)
+                        if old_value is missing:
+                            old_value = initial_value(address[0])
+                        observer.on_write(op.ref, address, old_value, new_value)
+                    values[address] = new_value
                     writes += 1
                     ref = op.ref
                     if ref is not None:
@@ -262,6 +316,7 @@ class SequentialInterpreter:
         if step == 0:
             raise SimulationError(f"region {region.name!r} has zero step")
         trace = self._trace_for(region, memory, result)
+        observer = self.observer
         value = lower
         while (step > 0 and value <= upper) or (step < 0 and value >= upper):
             stats.segments_started += 1
@@ -274,7 +329,11 @@ class SequentialInterpreter:
                     op_budget=self.op_budget,
                     compute_cost=self.compute_cost,
                 )
+            if observer is not None:
+                observer.begin_segment(region.name, LOOP_BODY_SEGMENT, value)
             self._drive(coroutine, memory, stats)
+            if observer is not None:
+                observer.end_segment()
             stats.segments_committed += 1
             value += step
 
@@ -285,6 +344,7 @@ class SequentialInterpreter:
         stats: ExecutionStats,
     ) -> None:
         edges = region.segment_edges()
+        observer = self.observer
         current = region.entry
         steps = 0
         while current != EXIT_NODE:
@@ -296,6 +356,8 @@ class SequentialInterpreter:
                 )
             segment = region.segment(current)
             stats.segments_started += 1
+            if observer is not None:
+                observer.begin_segment(region.name, current, steps - 1)
             self._drive(
                 segment_coroutine(
                     segment.body,
@@ -305,6 +367,8 @@ class SequentialInterpreter:
                 memory,
                 stats,
             )
+            if observer is not None:
+                observer.end_segment()
             stats.segments_committed += 1
             successors = edges.get(current, [])
             if not successors:
@@ -321,6 +385,7 @@ def run_program(
     op_budget: Optional[int] = None,
     use_replay: bool = True,
     model_latency: bool = True,
+    observer: Optional[ExecutionObserver] = None,
 ) -> SequentialResult:
     """One-shot sequential execution of ``program``."""
     return SequentialInterpreter(
@@ -328,4 +393,5 @@ def run_program(
         op_budget=op_budget,
         use_replay=use_replay,
         model_latency=model_latency,
+        observer=observer,
     ).run()

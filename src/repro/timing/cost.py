@@ -42,7 +42,6 @@ from repro.ir.expr import BinOp, Call, Expr, UnaryOp
 #: vocabulary, plus the non-speculative default ``None`` -> conventional
 #: memory).
 from repro.runtime.engines import (  # noqa: F401 (shared vocabulary)
-    ROUTE_DIRECT,
     ROUTE_PRIVATE,
     ROUTE_SPECULATIVE,
 )

@@ -27,7 +27,6 @@ from repro.timing.cost import CostModel
 from repro.timing.events import (
     DirectSection,
     Recording,
-    RegionRecording,
     TimingRecorder,
 )
 from repro.timing.schedule import RegionSchedule, schedule_region

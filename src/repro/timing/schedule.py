@@ -33,7 +33,7 @@ into the whole-program makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.timing.cost import CostModel
 from repro.timing.events import (

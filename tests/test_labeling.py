@@ -528,3 +528,267 @@ end program
         assert merged.count(IdempotencyCategory.READ_ONLY) == 5
         assert merged.total == 6
         assert merged.idempotent_total == 5
+
+
+# ----------------------------------------------------------------------
+# Regressions found by the differential label-soundness checker
+# (python -m repro.check); each test pins one minimized fuzz finding.
+# ----------------------------------------------------------------------
+class TestCheckerRegressions:
+    def test_strided_inner_loop_does_not_cover_gap_read(self):
+        """A stride-2 write claims no coverage of the skipped addresses.
+
+        ``_loop_bounds`` used to return the full [lo, hi] interval for
+        |step| > 1, so ``a(2)`` counted as covered by the writes to
+        a(1), a(3), a(5), a(7) and the variable was marked Write.
+        """
+        from repro.analysis.access import summarize_segment, write_covers_read
+
+        program = parse_program(
+            """
+            program stride
+            real a(8)
+            real s
+
+            init
+              do t = 1, 8
+                a(t) = t
+              end do
+              s = 0.0
+            end init
+
+            region R do i = 1, 2
+              do t = 1, 7, 2
+                a(t) = 1.0
+              end do
+              s = s + a(2)
+            end region
+
+            finale
+              s = s + a(1)
+            end finale
+            end program
+            """
+        )
+        region = program.regions[0]
+        write = next(
+            r
+            for r in region.references
+            if r.variable == "a" and r.access is AccessType.WRITE
+        )
+        read = next(
+            r
+            for r in region.references
+            if r.variable == "a" and r.access is AccessType.READ
+        )
+        assert not write_covers_read(write, read, region.index, set())
+        summary = summarize_segment(
+            region.references, "<iteration>", region_index=region.index
+        )
+        assert summary.mark("a") is NodeMark.READ  # exposed, not covered
+
+    def test_unit_stride_inner_loop_still_covers(self):
+        """|step| == 1 coverage (forward and backward) is unaffected."""
+        from repro.analysis.access import write_covers_read
+
+        program = parse_program(
+            """
+            program unit
+            real a(8)
+            real s
+
+            init
+              s = 0.0
+            end init
+
+            region R do i = 1, 2
+              do t = 7, 1, -1
+                a(t) = 1.0
+              end do
+              s = s + a(2)
+            end region
+
+            finale
+              s = s + a(1)
+            end finale
+            end program
+            """
+        )
+        region = program.regions[0]
+        write = next(
+            r
+            for r in region.references
+            if r.variable == "a" and r.access is AccessType.WRITE
+        )
+        read = next(
+            r
+            for r in region.references
+            if r.variable == "a" and r.access is AccessType.READ
+        )
+        assert write_covers_read(write, read, region.index, set())
+
+    def test_backward_loop_constant_trip_count(self):
+        """``-1`` parses as unary minus; trip counts must fold it.
+
+        ``constant_trip_count`` used to require ``Const`` steps, so any
+        backward loop reported ``None`` and downstream liveness lost
+        its kill set (a dead scalar stayed live, blocking privatization
+        in the preceding region).
+        """
+        program = parse_program(
+            """
+            program back
+            real a(8)
+            real s
+
+            init
+              s = 0.0
+            end init
+
+            region R do i = 6, 1, -1
+              a(i) = s
+            end region
+
+            finale
+              s = s + a(3)
+            end finale
+            end program
+            """
+        )
+        region = program.regions[0]
+        assert region.constant_trip_count() == 6
+
+    def test_const_int_folds_unary_minus(self):
+        from repro.ir.expr import Const, UnaryOp, Var, const_int
+
+        assert const_int(Const(3)) == 3
+        assert const_int(UnaryOp("-", Const(2))) == -2
+        assert const_int(UnaryOp("-", UnaryOp("-", Const(2)))) == 2
+        assert const_int(Var("n")) is None
+        assert const_int(Const(2.5)) is None
+
+    def test_fully_independent_array_accumulator_is_lemma7(self):
+        """``a(i) = c + a(i)`` in a fully independent region.
+
+        The read-modify-write makes every reference non-re-executable
+        in isolation, yet the production labeler marks the whole region
+        idempotent: with no cross-instance dependences no roll-back can
+        occur (Lemma 7), so the labels are never exercised by a squash.
+        The labeling must claim full independence -- the checker's
+        dynamic oracle separately verifies that premise.
+        """
+        program = parse_program(
+            """
+            program lemma7
+            real a(8)
+            real s
+
+            init
+              do t = 1, 8
+                a(t) = t
+              end do
+              s = 0.0
+            end init
+
+            region R do i = 1, 3
+              a(i) = 6.0 + a(i)
+            end region
+
+            finale
+              s = s + a(2)
+            end finale
+            end program
+            """
+        )
+        region = program.regions[0]
+        labeling = label_region(region, program=program)
+        assert labeling.fully_independent
+        assert all(labeling.is_idempotent(r) for r in region.references)
+
+    def test_explicit_segment_kill_does_not_hide_older_segment_read(self):
+        """Live-out scan must walk explicit segments in listing order.
+
+        ``region_live_out`` used to sort a following explicit region's
+        references by their per-segment ``order`` alone, interleaving
+        the segments: S1's unconditional kill of ``s`` (order 0) was
+        scanned before S0's read of ``s`` (order 1), so ``s`` dropped
+        out of the live-out set and was wrongly privatized.  Minimized
+        from fuzzed programs 370/474 of seed 20260807.
+        """
+        from repro.analysis.liveness import region_live_out
+
+        program = parse_program(
+            """
+            program liveorder
+            real a(8)
+            real s
+
+            init
+              do t = 1, 8
+                a(t) = t
+              end do
+              s = 0.5
+            end init
+
+            region R0 do i = 1, 4
+              s = a(i)
+            end region
+
+            region R1 explicit
+              segment S0
+                a(1) = s + 1.0
+              end segment
+              segment S1
+                s = a(2)
+              end segment
+              edges S0 -> S1
+            end region
+
+            finale
+              s = s + a(1)
+            end finale
+            end program
+            """
+        )
+        r0 = program.regions[0]
+        assert "s" in region_live_out(program, r0)
+        labeling = label_region(r0, program=program)
+        assert "s" not in labeling.private_vars
+
+    def test_maybe_skipped_writes_do_not_kill_liveness(self):
+        """Only certainly executed scalar writes kill downstream reads.
+
+        A kill inside a later loop with a non-positive or symbolic trip
+        count (here ``do i = 1, 0``) may never execute; the finale read
+        of ``s`` must keep ``s`` live out of R0.
+        """
+        from repro.analysis.liveness import region_live_out
+
+        program = parse_program(
+            """
+            program zerokill
+            real a(8)
+            real s
+
+            init
+              do t = 1, 8
+                a(t) = t
+              end do
+              s = 0.5
+            end init
+
+            region R0 do i = 1, 4
+              s = a(i)
+            end region
+
+            region R1 do i = 1, 0
+              s = a(i)
+            end region
+
+            finale
+              s = s + 1.0
+            end finale
+            end program
+            """
+        )
+        assert "s" in region_live_out(program, program.regions[0])

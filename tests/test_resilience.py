@@ -154,7 +154,7 @@ class TestAuditor:
 
     def test_forwarding_direction(self):
         store = SpeculativeStore()
-        oldest = store.open_segment(("R", 1), 1)
+        _oldest = store.open_segment(("R", 1), 1)
         younger = store.open_segment(("R", 2), 2)
         store.record_write(younger, ("a", 0), 9.0)
         # Corrupt the age so the younger buffer looks older to

@@ -99,7 +99,6 @@ class TestCapacity:
 class TestForwarding:
     def test_nearest_older_writer_wins(self):
         store = SpeculativeStore()
-        memory = make_memory("a")
         old = store.open_segment(("R", 1), 1)
         mid = store.open_segment(("R", 2), 2)
         young = store.open_segment(("R", 3), 3)

@@ -1,13 +1,11 @@
 """Unit tests for the subscript relation tests and signatures."""
 
-import pytest
 
 from repro.analysis.dependence.signature import (
     SignatureIndex,
-    relation_of_signature_pair,
     signature_of,
 )
-from repro.analysis.dependence.tests import (
+from repro.analysis.dependence.subscript_tests import (
     ALL_RELATIONS,
     AliasRelation,
     NO_ALIAS,

@@ -17,7 +17,7 @@ from repro.bench.speedup import (
 )
 from repro.bench.workloads import FAMILIES, generate
 from repro.ir.dsl import parse_program
-from repro.runtime.engines import CASEEngine, HOSEEngine
+from repro.runtime.engines import HOSEEngine
 from repro.runtime.interpreter import run_program
 from repro.timing import (
     CostModel,
