@@ -34,6 +34,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable
 
 from repro.ir.region import Region
+from repro.obs.metrics import metrics_registry
+
+#: The process-wide registry is a stable singleton (``reset`` mutates it
+#: in place), so one module-level binding keeps the per-lookup cost at a
+#: single attribute check while disabled.
+_METRICS = metrics_registry()
 
 
 class AnalysisCache:
@@ -48,12 +54,22 @@ class AnalysisCache:
     def get_or_compute(
         self, region: Region, key: Hashable, compute: Callable[[], Any]
     ) -> Any:
-        """Return the cached value for ``(region, key)``; compute on miss."""
+        """Return the cached value for ``(region, key)``; compute on miss.
+
+        With metrics collection armed (``repro.obs enable``) every
+        lookup also bumps the process-wide ``analysis.cache.hits`` /
+        ``analysis.cache.misses`` counters; disabled, the cost is one
+        attribute check.
+        """
         per_region = self._entries.setdefault(region, {})
         if key in per_region:
             self.hits += 1
+            if _METRICS.collecting:
+                _METRICS.counter("analysis.cache.hits").inc()
             return per_region[key]
         self.misses += 1
+        if _METRICS.collecting:
+            _METRICS.counter("analysis.cache.misses").inc()
         value = compute()
         per_region[key] = value
         return value

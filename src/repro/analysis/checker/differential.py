@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.idempotency.labeling import LabelingResult, label_program
+from repro.obs.tracer import TRACER
 from repro.ir.types import IdempotencyCategory
 from repro.ir.program import Program
 from repro.ir.reference import MemoryReference
@@ -316,47 +317,62 @@ def check_region(
 def check_program(
     program: Program, config: Optional[CheckConfig] = None
 ) -> ProgramReport:
-    """Full differential check of one program."""
+    """Full differential check of one program.
+
+    With tracing armed, each stage (lint / label / oracle / regions /
+    replay) runs inside its own ``checker.*`` span under one
+    ``checker.check_program`` parent.
+    """
     config = config or CheckConfig()
     report = ProgramReport(program=program.name)
 
-    if config.lint:
-        report.lint = [
-            {
-                "severity": issue.severity,
-                "location": issue.location,
-                "message": issue.message,
-            }
-            for issue in validate_program(program, strict=False)
-        ]
+    with TRACER.span(
+        "checker.check_program", category="checker", program=program.name
+    ):
+        if config.lint:
+            with TRACER.span("checker.lint", category="checker"):
+                report.lint = [
+                    {
+                        "severity": issue.severity,
+                        "location": issue.location,
+                        "message": issue.message,
+                    }
+                    for issue in validate_program(program, strict=False)
+                ]
 
-    labelings = label_program(program)
+        with TRACER.span("checker.label", category="checker"):
+            labelings = label_program(program)
 
-    oracle: Optional[TraceOracle] = None
-    if config.dynamic:
-        try:
-            oracle = run_trace(program, op_budget=config.op_budget)
-        except Exception as exc:  # noqa: BLE001 - reported, not masked
-            report.errors.append(f"trace oracle failed: {exc}")
+        oracle: Optional[TraceOracle] = None
+        if config.dynamic:
+            with TRACER.span("checker.oracle", category="checker"):
+                try:
+                    oracle = run_trace(program, op_budget=config.op_budget)
+                except Exception as exc:  # noqa: BLE001 - reported, not masked
+                    report.errors.append(f"trace oracle failed: {exc}")
 
-    for region in program.regions:
-        labeling = labelings.get(region.name)
-        if labeling is None:  # pragma: no cover - defensive
-            continue
-        dyn = oracle.facts.get(region.name) if oracle is not None else None
-        report.regions.append(
-            check_region(labeling, program, dyn, config)
-        )
+        for region in program.regions:
+            labeling = labelings.get(region.name)
+            if labeling is None:  # pragma: no cover - defensive
+                continue
+            dyn = oracle.facts.get(region.name) if oracle is not None else None
+            with TRACER.span(
+                "checker.region", category="checker", region=region.name
+            ):
+                report.regions.append(
+                    check_region(labeling, program, dyn, config)
+                )
 
-    if config.replay:
-        try:
-            replay = replay_check(
-                program, labelings, op_budget=config.op_budget
-            )
-            report.replay_ok = replay.ok
-            report.replay_mismatches = replay.mismatches
-        except Exception as exc:  # noqa: BLE001 - reported, not masked
-            report.errors.append(f"squash-replay failed: {exc}")
+        if config.replay:
+            with TRACER.span("checker.replay", category="checker"):
+                try:
+                    replay = replay_check(
+                        program, labelings, op_budget=config.op_budget
+                    )
+                    report.replay_ok = replay.ok
+                    report.replay_mismatches = replay.mismatches
+                except Exception as exc:  # noqa: BLE001 - reported, not masked
+                    report.errors.append(f"squash-replay failed: {exc}")
     return report
 
 

@@ -52,6 +52,12 @@ Common invocations::
                                           # also assert HOSE on P=4 beats
                                           # sequential on the parallel
                                           # families (CI smoke)
+    python -m repro.bench --scenarios speedup \
+        --trace BENCH_trace.json --metrics BENCH_metrics.json
+                                          # arm the observability layer:
+                                          # Perfetto-loadable timeline +
+                                          # metrics snapshot (validate
+                                          # with python -m repro.obs)
 """
 
 from __future__ import annotations
@@ -61,9 +67,17 @@ import json
 import platform
 import sys
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 from repro._version import __version__
+from repro.obs.export import ChromeTraceBuilder
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    ingest_execution_stats,
+    ingest_recording,
+    metrics_registry,
+)
+from repro.obs.tracer import TRACER
 from repro.bench.chaos import (
     CHAOS_RATES,
     CHAOS_SIZE,
@@ -110,6 +124,8 @@ from repro.bench.workloads import (
     generate_suite,
 )
 from repro.timing.cost import DEFAULT_COST_MODEL
+
+LOG = get_logger("bench")
 
 #: Scenario registry: name -> one-line description (--list-scenarios).
 SCENARIOS: Dict[str, str] = {
@@ -267,41 +283,77 @@ def _parse_args(argv):
         default="BENCH_results.json",
         help="output JSON path",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="arm the span tracer and write a Chrome-trace (Perfetto) "
+        "JSON timeline here (speedup runs additionally export their "
+        "P-processor schedules as per-lane timelines)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="arm the metrics registry and write a "
+        "repro.obs.metrics/v1 snapshot here",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational log output (warnings still shown)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log output as JSON lines instead of human text",
+    )
     return parser.parse_args(argv)
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    configure_logging(quiet=args.quiet, json_lines=args.log_json)
     if args.list_scenarios:
         for name in sorted(SCENARIOS):
             print(f"{name:<10} {SCENARIOS[name]}")
         return 0
     if args.no_fast_path and args.fast_only:
-        print("--no-fast-path and --fast-only are mutually exclusive", file=sys.stderr)
+        LOG.error("--no-fast-path and --fast-only are mutually exclusive")
         return 2
     selected = set(args.scenarios) if args.scenarios else set(SCENARIOS)
     if args.no_engines:
         selected.discard("engines")
     if not selected:
-        print(
+        LOG.error(
             "nothing to run: the scenario selection is empty "
-            "(--no-engines removed the only selected scenario)",
-            file=sys.stderr,
+            "(--no-engines removed the only selected scenario)"
         )
         return 2
     if args.check_speedup and "speedup" not in selected:
-        print("--check-speedup requires the speedup scenario", file=sys.stderr)
+        LOG.error("--check-speedup requires the speedup scenario")
         return 2
     if args.check_speedup and 4 not in args.processors:
-        print("--check-speedup requires 4 in --processors", file=sys.stderr)
+        LOG.error("--check-speedup requires 4 in --processors")
         return 2
     if args.check_speedup and args.verify_engines:
-        print(
+        LOG.error(
             "--verify-engines runs the equivalence check only and never "
-            "reaches the speedup scenario; drop one of the two flags",
-            file=sys.stderr,
+            "reaches the speedup scenario; drop one of the two flags"
         )
         return 2
+
+    # Observability is armed only when an artifact was asked for, so
+    # the default bench run measures the disabled fast path (this is
+    # the run the <= 2% overhead gate compares against the seed).
+    registry = metrics_registry()
+    if args.trace:
+        TRACER.reset()
+        TRACER.enable()
+    if args.metrics:
+        registry.reset()
+        registry.enable()
+    trace_builder = ChromeTraceBuilder() if args.trace else None
 
     if args.verify_engines:
         verify_size = args.size if args.size else ENGINE_SMOKE_SIZE
@@ -309,8 +361,8 @@ def main(argv=None) -> int:
             SMOKE_STATEMENTS if args.smoke else min(args.statements, 4)
         )
         windows = tuple(sorted({1, args.engine_window}))
-        print(
-            f"[bench] engine equivalence: HOSE/CASE vs sequential "
+        LOG.info(
+            f"engine equivalence: HOSE/CASE vs sequential "
             f"(size={verify_size}, statements={verify_statements}, "
             f"windows={list(windows)}, "
             f"capacities={args.engine_capacities}) ..."
@@ -323,10 +375,10 @@ def main(argv=None) -> int:
             capacities=tuple(args.engine_capacities),
         )
         for failure in failures:
-            print(f"[bench] FAIL {failure}", file=sys.stderr)
+            LOG.error(f"FAIL {failure}")
         if failures:
             return 1
-        print("[bench] engine equivalence OK (all final states bit-identical)")
+        LOG.info("engine equivalence OK (all final states bit-identical)")
         return 0
 
     size = SMOKE_SIZE if args.smoke else args.size
@@ -345,40 +397,41 @@ def main(argv=None) -> int:
         suite = generate_suite(
             size=size, statements=statements, families=tuple(args.families)
         )
-        for workload in suite:
-            entry: Dict = {}
-            measured: Dict[str, FamilyResult] = {}
-            for mode_name, fast in modes:
-                print(
-                    f"[bench] {workload.family:<10} {mode_name:<8} "
-                    f"(size={workload.size}, statements={workload.statements}) ...",
-                    flush=True,
-                )
-                result = measure_family(
-                    workload, fast_path=fast, min_seconds=min_seconds
-                )
-                measured[mode_name] = result
-                entry[mode_name] = result.as_dict()
-            if "fast" in measured and "baseline" in measured:
-                fast_r, base_r = measured["fast"], measured["baseline"]
-                entry["speedup"] = {
-                    "analyze": round(
-                        fast_r.analyze.per_second
-                        / max(base_r.analyze.per_second, 1e-9),
-                        2,
-                    ),
-                    "analyze_warm": round(
-                        fast_r.analyze_warm.per_second
-                        / max(base_r.analyze_warm.per_second, 1e-9),
-                        2,
-                    ),
-                    "simulate": round(
-                        fast_r.simulate.per_second
-                        / max(base_r.simulate.per_second, 1e-9),
-                        2,
-                    ),
-                }
-            families[workload.family] = entry
+        with TRACER.span("bench.scenario", category="bench", scenario="families"):
+            for workload in suite:
+                entry: Dict = {}
+                measured: Dict[str, FamilyResult] = {}
+                for mode_name, fast in modes:
+                    LOG.info(
+                        f"{workload.family:<10} {mode_name:<8} "
+                        f"(size={workload.size}, "
+                        f"statements={workload.statements}) ..."
+                    )
+                    result = measure_family(
+                        workload, fast_path=fast, min_seconds=min_seconds
+                    )
+                    measured[mode_name] = result
+                    entry[mode_name] = result.as_dict()
+                if "fast" in measured and "baseline" in measured:
+                    fast_r, base_r = measured["fast"], measured["baseline"]
+                    entry["speedup"] = {
+                        "analyze": round(
+                            fast_r.analyze.per_second
+                            / max(base_r.analyze.per_second, 1e-9),
+                            2,
+                        ),
+                        "analyze_warm": round(
+                            fast_r.analyze_warm.per_second
+                            / max(base_r.analyze_warm.per_second, 1e-9),
+                            2,
+                        ),
+                        "simulate": round(
+                            fast_r.simulate.per_second
+                            / max(base_r.simulate.per_second, 1e-9),
+                            2,
+                        ),
+                    }
+                families[workload.family] = entry
 
     engines_section = None
     if "engines" in selected:
@@ -386,26 +439,26 @@ def main(argv=None) -> int:
         engine_statements = (
             SMOKE_STATEMENTS if args.smoke else ENGINE_STATEMENTS
         )
-        print(
-            f"[bench] engines: HOSE vs CASE "
+        LOG.info(
+            f"engines: HOSE vs CASE "
             f"(size={engine_size}, statements={engine_statements}, "
             f"window={args.engine_window}, "
-            f"capacities={args.engine_capacities}) ...",
-            flush=True,
+            f"capacities={args.engine_capacities}) ..."
         )
-        engines_section = {
-            "size": engine_size,
-            "statements": engine_statements,
-            "window": args.engine_window,
-            "capacities": list(args.engine_capacities),
-            "families": measure_engines(
-                size=engine_size,
-                statements=engine_statements,
-                families=tuple(args.families),
-                capacities=tuple(args.engine_capacities),
-                window=args.engine_window,
-            ),
-        }
+        with TRACER.span("bench.scenario", category="bench", scenario="engines"):
+            engines_section = {
+                "size": engine_size,
+                "statements": engine_statements,
+                "window": args.engine_window,
+                "capacities": list(args.engine_capacities),
+                "families": measure_engines(
+                    size=engine_size,
+                    statements=engine_statements,
+                    families=tuple(args.families),
+                    capacities=tuple(args.engine_capacities),
+                    window=args.engine_window,
+                ),
+            }
 
     speedup_section = None
     if "speedup" in selected:
@@ -415,30 +468,58 @@ def main(argv=None) -> int:
         )
         capacities = [c if c else None for c in args.speedup_capacities]
         windows = list(args.speedup_windows)
-        print(
-            f"[bench] speedup: HOSE/CASE makespans "
+        LOG.info(
+            f"speedup: HOSE/CASE makespans "
             f"(size={speedup_size}, statements={speedup_statements}, "
             f"processors={args.processors}, windows={windows}, "
-            f"capacities={capacities}) ...",
-            flush=True,
+            f"capacities={capacities}) ..."
         )
-        speedup_section = {
-            "size": speedup_size,
-            "statements": speedup_statements,
-            "processors": list(args.processors),
-            "windows": windows,
-            "capacities": capacities,
-            "cost_model": DEFAULT_COST_MODEL.as_dict(),
-            "families": measure_speedups(
-                size=speedup_size,
-                statements=speedup_statements,
-                families=tuple(args.families),
-                processors=tuple(args.processors),
-                windows=tuple(windows),
-                capacities=tuple(capacities),
-                cost=DEFAULT_COST_MODEL,
-            ),
-        }
+
+        # The speedup scenario is where the Perfetto timeline comes
+        # from: every engine run hands its recording + makespans to
+        # this observer, which lays the P-processor schedule out as
+        # per-lane slices and folds the telemetry into the registry.
+        schedule_p = 4 if 4 in args.processors else max(args.processors)
+        export_window = max(windows)
+        observing = trace_builder is not None or registry.collecting
+
+        def speedup_observer(
+            *, workload, engine, window, capacity, recording, stats, makespans
+        ):
+            if registry.collecting:
+                ingest_recording(recording, registry=registry)
+                ingest_execution_stats(stats, registry=registry)
+            if trace_builder is not None and window == export_window:
+                makespan = makespans.get(schedule_p)
+                if makespan is not None:
+                    cap = "inf" if capacity is None else capacity
+                    trace_builder.add_schedule(
+                        makespan,
+                        label=(
+                            f"{engine} {workload.family} "
+                            f"P={schedule_p} w={window} c={cap}"
+                        ),
+                    )
+
+        with TRACER.span("bench.scenario", category="bench", scenario="speedup"):
+            speedup_section = {
+                "size": speedup_size,
+                "statements": speedup_statements,
+                "processors": list(args.processors),
+                "windows": windows,
+                "capacities": capacities,
+                "cost_model": DEFAULT_COST_MODEL.as_dict(),
+                "families": measure_speedups(
+                    size=speedup_size,
+                    statements=speedup_statements,
+                    families=tuple(args.families),
+                    processors=tuple(args.processors),
+                    windows=tuple(windows),
+                    capacities=tuple(capacities),
+                    cost=DEFAULT_COST_MODEL,
+                    observer=speedup_observer if observing else None,
+                ),
+            }
 
     chaos_section = None
     if "chaos" in selected:
@@ -446,22 +527,22 @@ def main(argv=None) -> int:
         chaos_rates = (
             list(CHAOS_SMOKE_RATES) if args.smoke else list(args.chaos_rates)
         )
-        print(
-            f"[bench] chaos: fault injection sweep "
+        LOG.info(
+            f"chaos: fault injection sweep "
             f"(size={chaos_size}, statements={CHAOS_STATEMENTS}, "
-            f"rates={chaos_rates}) ...",
-            flush=True,
+            f"rates={chaos_rates}) ..."
         )
         chaos_kwargs = {}
         if args.chaos_seed is not None:
             chaos_kwargs["seed"] = args.chaos_seed
-        chaos_section = measure_chaos(
-            size=chaos_size,
-            statements=CHAOS_STATEMENTS,
-            families=tuple(args.families),
-            rates=tuple(chaos_rates),
-            **chaos_kwargs,
-        )
+        with TRACER.span("bench.scenario", category="bench", scenario="chaos"):
+            chaos_section = measure_chaos(
+                size=chaos_size,
+                statements=CHAOS_STATEMENTS,
+                families=tuple(args.families),
+                rates=tuple(chaos_rates),
+                **chaos_kwargs,
+            )
 
     precision_section = None
     if "precision" in selected:
@@ -474,19 +555,21 @@ def main(argv=None) -> int:
         precision_fuzz = (
             PRECISION_SMOKE_FUZZ if args.smoke else args.precision_fuzz
         )
-        print(
-            f"[bench] precision: labels vs differential checker "
+        LOG.info(
+            f"precision: labels vs differential checker "
             f"(size={precision_size}, statements={precision_statements}, "
-            f"fuzz={precision_fuzz}, seed={args.precision_seed}) ...",
-            flush=True,
+            f"fuzz={precision_fuzz}, seed={args.precision_seed}) ..."
         )
-        precision_section = measure_precision(
-            size=precision_size,
-            statements=precision_statements,
-            families=tuple(args.families),
-            fuzz=precision_fuzz,
-            seed=args.precision_seed,
-        )
+        with TRACER.span(
+            "bench.scenario", category="bench", scenario="precision"
+        ):
+            precision_section = measure_precision(
+                size=precision_size,
+                statements=precision_statements,
+                families=tuple(args.families),
+                fuzz=precision_fuzz,
+                seed=args.precision_seed,
+            )
 
     report = {
         "meta": {
@@ -529,10 +612,30 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    LOG.info(f"wrote {args.out}")
 
-    print(f"[bench] wrote {args.out}")
+    artifact_meta = {
+        "version": __version__,
+        "scenarios": sorted(selected),
+        "smoke": args.smoke,
+        "source": "python -m repro.bench",
+    }
+    if trace_builder is not None:
+        trace_builder.add_spans(TRACER.finished_spans(), TRACER.events())
+        trace_builder.write(args.trace, meta=artifact_meta)
+        LOG.info(
+            f"wrote {args.trace} "
+            f"(open at https://ui.perfetto.dev or chrome://tracing)"
+        )
+    if args.metrics:
+        snapshot = registry.snapshot(meta=artifact_meta)
+        with open(args.metrics, "w") as handle:
+            json.dump(snapshot, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        LOG.info(f"wrote {args.metrics}")
+
     for family, entry in families.items():
-        line = f"[bench] {family:<10}"
+        line = f"{family:<10}"
         for mode_name, _ in modes:
             r = entry[mode_name]
             line += (
@@ -544,10 +647,10 @@ def main(argv=None) -> int:
                 f"  speedup: analyze={entry['speedup']['analyze']}x"
                 f" simulate={entry['speedup']['simulate']}x"
             )
-        print(line)
+        LOG.info(line)
     if "summary" in report:
-        print(
-            f"[bench] geomean speedup: "
+        LOG.info(
+            f"geomean speedup: "
             f"analyze={report['summary']['analyze_speedup_geomean']}x "
             f"simulate={report['summary']['simulate_speedup_geomean']}x"
         )
@@ -559,8 +662,8 @@ def main(argv=None) -> int:
                 for side in (hose, case):
                     if not side["matches_sequential"]:
                         mismatches += 1
-                print(
-                    f"[bench] {family:<10} cap={capacity:>4}  "
+                LOG.info(
+                    f"{family:<10} cap={capacity:>4}  "
                     f"commit: hose={hose['commit_entries']:>6} "
                     f"case={case['commit_entries']:>6}  "
                     f"peak: hose={hose['spec_peak_entries']:>5} "
@@ -569,10 +672,9 @@ def main(argv=None) -> int:
                     f"case={case['overflow_stalls']:>4}"
                 )
         if mismatches:
-            print(
-                f"[bench] WARNING: {mismatches} engine runs diverged from "
-                f"the sequential interpreter",
-                file=sys.stderr,
+            LOG.warning(
+                f"{mismatches} engine runs diverged from "
+                f"the sequential interpreter"
             )
             return 1
     if speedup_section is not None:
@@ -583,27 +685,26 @@ def main(argv=None) -> int:
                 for row in entry["configs"].values():
                     if not row[side]["matches_sequential"]:
                         mismatches += 1
-            print(
-                f"[bench] {family:<10} sequential={entry['sequential_cycles']:>8} "
+            LOG.info(
+                f"{family:<10} sequential={entry['sequential_cycles']:>8} "
                 f"best speedup @P={top}: "
                 f"hose={entry['best_hose_speedup']}x "
                 f"case={entry['best_case_speedup']}x"
             )
         if mismatches:
-            print(
-                f"[bench] WARNING: {mismatches} speedup-scenario runs "
-                f"diverged from the sequential interpreter",
-                file=sys.stderr,
+            LOG.warning(
+                f"{mismatches} speedup-scenario runs "
+                f"diverged from the sequential interpreter"
             )
             return 1
         if args.check_speedup:
             failures = check_embarrassing_speedup(speedup_section, processors=4)
             for failure in failures:
-                print(f"[bench] FAIL {failure}", file=sys.stderr)
+                LOG.error(f"FAIL {failure}")
             if failures:
                 return 1
-            print(
-                "[bench] speedup check OK (HOSE on 4 processors beats "
+            LOG.info(
+                "speedup check OK (HOSE on 4 processors beats "
                 "sequential on the embarrassingly-parallel families)"
             )
     if chaos_section is not None:
@@ -620,22 +721,21 @@ def main(argv=None) -> int:
             audits = sum(
                 side["audits"] for side in entry["baseline"].values()
             )
-            print(
-                f"[bench] {name:<10} chaos: {runs} runs, "
+            LOG.info(
+                f"{name:<10} chaos: {runs} runs, "
                 f"{injected} faults injected, {degraded} degraded, "
                 f"{audits} fault-free audits"
             )
         if chaos_section["unrecovered"]:
             for failure in chaos_section["unrecovered"]:
-                print(f"[bench] FAIL {failure}", file=sys.stderr)
-            print(
-                f"[bench] WARNING: {len(chaos_section['unrecovered'])} "
-                f"chaos runs did not recover to the sequential state",
-                file=sys.stderr,
+                LOG.error(f"FAIL {failure}")
+            LOG.warning(
+                f"{len(chaos_section['unrecovered'])} "
+                f"chaos runs did not recover to the sequential state"
             )
             return 1
-        print(
-            "[bench] chaos check OK (every faulted run recovered "
+        LOG.info(
+            "chaos check OK (every faulted run recovered "
             "bit-identically to sequential)"
         )
     if precision_section is not None:
@@ -643,8 +743,8 @@ def main(argv=None) -> int:
         rows["fuzzed"] = precision_section["fuzzed"]
         for name, entry in rows.items():
             pct = entry["precision_percent"]
-            print(
-                f"[bench] {name:<10} precision: "
+            LOG.info(
+                f"{name:<10} precision: "
                 f"{entry['idempotent_labels']:>5} idempotent, "
                 f"{entry['production_conservative']:>3} provably "
                 f"conservative, "
@@ -654,14 +754,13 @@ def main(argv=None) -> int:
             )
         totals = precision_section["totals"]
         if totals["unsound"] or totals["suspect"]:
-            print(
-                f"[bench] WARNING: checker found {totals['unsound']} "
-                f"unsound and {totals['suspect']} suspect labels",
-                file=sys.stderr,
+            LOG.warning(
+                f"checker found {totals['unsound']} "
+                f"unsound and {totals['suspect']} suspect labels"
             )
             return 1
-        print(
-            f"[bench] precision check OK (0 unsound labels; overall "
+        LOG.info(
+            f"precision check OK (0 unsound labels; overall "
             f"{totals['precision_percent']}% of provably-idempotent "
             f"references labeled)"
         )

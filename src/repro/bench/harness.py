@@ -17,7 +17,10 @@ Two instruments, both per workload family:
 Repetitions adapt to the workload: each measurement repeats until
 ``min_seconds`` of wall-clock time is accumulated (at least
 ``min_repeats`` times) and the *best* repetition is used, which is the
-standard way to suppress scheduler noise in micro-benchmarks.
+standard way to suppress scheduler noise in micro-benchmarks.  Every
+per-repetition sample is kept alongside the best, so the reported
+numbers carry p50 / p95 / stddev dispersion next to the headline rate
+(the same summary shape :mod:`repro.obs.metrics` histograms report).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from typing import Dict, List, Optional
 from repro.analysis.cache import AnalysisCache
 from repro.bench.workloads import Workload
 from repro.idempotency.labeling import label_region
+from repro.obs.metrics import percentile, stddev
 from repro.runtime.interpreter import SequentialInterpreter
 
 
@@ -39,12 +43,23 @@ class Measurement:
     seconds: float
     work_units: int
     repeats: int
+    #: Wall-clock seconds of every repetition (``seconds`` is their min).
+    samples: List[float] = field(default_factory=list)
 
     @property
     def per_second(self) -> float:
         if self.seconds <= 0:
             return 0.0
         return self.work_units / self.seconds
+
+    def rate_stats(self) -> Dict[str, float]:
+        """Dispersion of the per-repetition throughput (units / s)."""
+        rates = [self.work_units / s for s in self.samples if s > 0]
+        return {
+            "p50": round(percentile(rates, 50.0), 1),
+            "p95": round(percentile(rates, 95.0), 1),
+            "stddev": round(stddev(rates), 1),
+        }
 
 
 @dataclass
@@ -73,9 +88,12 @@ class FamilyResult:
             "analyze_refs_per_s": round(self.analyze.per_second, 1),
             "analyze_warm_refs_per_s": round(self.analyze_warm.per_second, 1),
             "analyze_repeats": self.analyze.repeats,
+            "analyze_stats": self.analyze.rate_stats(),
+            "analyze_warm_stats": self.analyze_warm.rate_stats(),
             "simulate_ops_per_s": round(self.simulate.per_second, 1),
             "simulate_ops": self.simulate_ops,
             "simulate_repeats": self.simulate.repeats,
+            "simulate_stats": self.simulate.rate_stats(),
             "replayed": self.replayed,
             "replay_reason": self.replay_reason,
             "idempotent_fraction": round(self.idempotent_fraction, 4),
@@ -84,20 +102,22 @@ class FamilyResult:
 
 
 def _timed_best(fn, min_seconds: float, min_repeats: int, max_repeats: int) -> tuple:
-    """Best (min) duration of ``fn()`` plus the repeat count used."""
+    """Best (min) duration of ``fn()``, all samples, and the last result."""
     best = float("inf")
     total = 0.0
-    repeats = 0
+    samples: List[float] = []
     last = None
-    while (total < min_seconds or repeats < min_repeats) and repeats < max_repeats:
+    while (total < min_seconds or len(samples) < min_repeats) and len(
+        samples
+    ) < max_repeats:
         t0 = time.perf_counter()
         last = fn()
         dt = time.perf_counter() - t0
         total += dt
-        repeats += 1
+        samples.append(dt)
         if dt < best:
             best = dt
-    return best, repeats, last
+    return best, samples, last
 
 
 def measure_family(
@@ -116,7 +136,7 @@ def measure_family(
     def analyze_cold():
         return label_region(region, fast_path=fast_path, cache=AnalysisCache())
 
-    analyze_best, analyze_reps, labeling = _timed_best(
+    analyze_best, analyze_samples, labeling = _timed_best(
         analyze_cold, min_seconds, min_repeats, max_repeats
     )
 
@@ -127,7 +147,7 @@ def measure_family(
     def analyze_warm():
         return label_region(region, fast_path=fast_path, cache=shared_cache)
 
-    warm_best, warm_reps, _ = _timed_best(
+    warm_best, warm_samples, _ = _timed_best(
         analyze_warm, min_seconds / 4, min_repeats, max_repeats
     )
 
@@ -149,7 +169,7 @@ def measure_family(
         )
         return interp.run()
 
-    simulate_best, simulate_reps, result = _timed_best(
+    simulate_best, simulate_samples, result = _timed_best(
         simulate, min_seconds, min_repeats, max_repeats
     )
     sim_ops = result.stats.reads + result.stats.writes
@@ -159,9 +179,13 @@ def measure_family(
         size=workload.size,
         statements=workload.statements,
         references=refs,
-        analyze=Measurement(analyze_best, refs, analyze_reps),
-        analyze_warm=Measurement(warm_best, refs, warm_reps),
-        simulate=Measurement(simulate_best, sim_ops, simulate_reps),
+        analyze=Measurement(
+            analyze_best, refs, len(analyze_samples), analyze_samples
+        ),
+        analyze_warm=Measurement(warm_best, refs, len(warm_samples), warm_samples),
+        simulate=Measurement(
+            simulate_best, sim_ops, len(simulate_samples), simulate_samples
+        ),
         simulate_ops=sim_ops,
         replayed=result.replayed_regions.get(region_name, False),
         replay_reason=result.replay_reasons.get(region_name, "n/a"),

@@ -27,7 +27,7 @@ total on ``reduction``) for the CI smoke step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
 from repro.bench.workloads import FAMILIES, Workload, generate
@@ -64,8 +64,16 @@ def measure_speedup_family(
     windows: Sequence[int] = SPEEDUP_WINDOWS,
     capacities: Sequence[Optional[int]] = SPEEDUP_CAPACITIES,
     cost: Optional[CostModel] = None,
+    observer: Optional[Callable[..., None]] = None,
 ) -> Dict:
-    """Makespans and speedups of one workload, per configuration."""
+    """Makespans and speedups of one workload, per configuration.
+
+    ``observer`` (when given) is called once per engine run with the
+    raw telemetry -- ``observer(workload=..., engine=..., window=...,
+    capacity=..., recording=..., makespans={P: MakespanResult})`` -- so
+    the bench CLI can export Perfetto timelines and metrics without
+    this scenario knowing anything about the exporter.
+    """
     cost = cost or CostModel()
     baseline, sequential = sequential_baseline(workload.program, cost)
     analysis_cache = AnalysisCache()
@@ -96,6 +104,7 @@ def measure_speedup_family(
                     result.memory, tolerance=0.0
                 )
                 stats = result.stats
+                recording = recorder.recording()
                 side: Dict = {
                     "matches_sequential": matches,
                     "violations": stats.violations,
@@ -103,15 +112,29 @@ def measure_speedup_family(
                     "overflow_stalls": stats.overflow_stalls,
                     "stall_rounds": stats.stall_rounds,
                     "spec_peak_entries": result.spec_peak_entries,
+                    # The recording's own schema -- the same totals the
+                    # metrics adapter and trace exporter consume.
+                    "recording": recording.summary(),
                     "processors": {},
                 }
-                recording = recorder.recording()
+                makespans = {}
                 for p in processors:
                     makespan = compute_makespan(
                         recording, p, sequential_cycles=baseline
                     )
+                    makespans[p] = makespan
                     side["processors"][str(p)] = makespan.as_dict()
                 row[name] = side
+                if observer is not None:
+                    observer(
+                        workload=workload,
+                        engine=name,
+                        window=window,
+                        capacity=capacity,
+                        recording=recording,
+                        stats=stats,
+                        makespans=makespans,
+                    )
             entry["configs"][_config_key(window, capacity)] = row
     # Headline numbers: the best speedup each engine reaches at P=max.
     top = str(max(processors))
@@ -134,6 +157,7 @@ def measure_speedups(
     windows: Sequence[int] = SPEEDUP_WINDOWS,
     capacities: Sequence[Optional[int]] = SPEEDUP_CAPACITIES,
     cost: Optional[CostModel] = None,
+    observer: Optional[Callable[..., None]] = None,
 ) -> Dict[str, Dict]:
     """The whole scenario: every family, every configuration."""
     return {
@@ -143,6 +167,7 @@ def measure_speedups(
             windows=windows,
             capacities=capacities,
             cost=cost,
+            observer=observer,
         )
         for family in families
     }

@@ -15,6 +15,10 @@ Examples::
     python -m repro.check --families --fuzz 500 --seed 20260807 \
         --mutation --out CHECK_report.json
 
+    # Trace the checker stages (lint / label / oracle / region /
+    # replay spans) into a Perfetto-loadable timeline.
+    python -m repro.check --families --trace
+
 Exit status is 1 when any unsound label, replay divergence, checker
 error, or missed mutation is found, 0 otherwise.  ``suspect`` /
 ``precision`` findings are reported but do not gate.
@@ -31,8 +35,13 @@ from typing import Dict, List, Optional
 from repro.analysis.checker import CheckConfig, check_program, mutation_check
 from repro.bench.workloads import FAMILIES, generate_suite
 from repro.corpus import generate_program
+from repro.obs.export import ChromeTraceBuilder
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.tracer import TRACER
 
 SEVERITIES = ("unsound", "suspect", "precision", "info")
+
+LOG = get_logger("check")
 
 
 def _empty_totals() -> Dict[str, int]:
@@ -115,10 +124,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="print every finding"
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="CHECK_trace.json",
+        default=None,
+        metavar="PATH",
+        help="arm the span tracer and write the checker-stage timeline "
+        "as Chrome-trace (Perfetto) JSON (default PATH: CHECK_trace.json)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational log output (warnings still shown)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log output as JSON lines instead of human text",
+    )
     args = parser.parse_args(argv)
+    configure_logging(quiet=args.quiet, json_lines=args.log_json)
 
     if not args.families and args.fuzz <= 0:
         parser.error("nothing to do: pass --families and/or --fuzz N")
+
+    if args.trace:
+        TRACER.reset()
+        TRACER.enable()
 
     config = CheckConfig(replay=not args.no_replay)
     started = time.time()
@@ -146,14 +179,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.verbose or not report.ok:
             for region in report.regions:
                 for finding in region.findings:
-                    print(
+                    emit = (
+                        LOG.warning
+                        if finding.severity == "unsound"
+                        else LOG.info
+                    )
+                    emit(
                         f"[{finding.severity}] {label} {finding.region} "
                         f"{finding.kind} {finding.key}: {finding.message}"
                     )
             for mismatch in report.replay_mismatches:
-                print(f"[unsound] {label} replay: {mismatch}")
+                LOG.error(f"[unsound] {label} replay: {mismatch}")
             for error in report.errors:
-                print(f"[error] {label}: {error}")
+                LOG.error(f"{label}: {error}")
         if args.mutation:
             mutation = mutation_check(program, config)
             mutation_out.append(
@@ -162,7 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not mutation.ok:
                 failures.append(f"{label} (mutation escaped)")
                 for missed in mutation.missed:
-                    print(f"[mutation-missed] {label}: {missed}")
+                    LOG.error(f"[mutation-missed] {label}: {missed}")
 
     if args.families:
         for workload in generate_suite():
@@ -174,7 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception as exc:  # noqa: BLE001 - generator bug = failure
             failures.append(label)
             totals["errors"] += 1
-            print(f"[error] {label}: generation failed: {exc}")
+            LOG.error(f"{label}: generation failed: {exc}")
             continue
         run_one(label, program)
 
@@ -202,10 +240,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=1, sort_keys=True)
-        print(f"report written to {args.out}")
+        LOG.info(f"report written to {args.out}")
+
+    if args.trace:
+        builder = ChromeTraceBuilder()
+        builder.add_spans(
+            TRACER.finished_spans(), TRACER.events(), process="checker"
+        )
+        builder.write(
+            args.trace,
+            meta={"source": "python -m repro.check", "seed": args.seed},
+        )
+        LOG.info(
+            f"wrote {args.trace} "
+            f"(open at https://ui.perfetto.dev or chrome://tracing)"
+        )
 
     ok = not failures
-    print(
+    LOG.info(
         f"checked {totals['programs']} programs / {totals['regions']} regions "
         f"/ {totals['references']} references: "
         f"{totals['unsound']} unsound, {totals['suspect']} suspect, "
@@ -214,12 +266,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         + (f", {caught}/{mutants} mutants caught" if args.mutation else "")
     )
     if summary["precision_percent"] is not None:
-        print(
+        LOG.info(
             f"label precision vs checker: {summary['precision_percent']}% "
             f"({totals['production_conservative']} provably-idempotent "
             "references left speculative)"
         )
-    print("OK" if ok else "FAILED: " + ", ".join(failures[:10]))
+    if ok:
+        LOG.info("OK")
+    else:
+        LOG.error("FAILED: " + ", ".join(failures[:10]))
     return 0 if ok else 1
 
 

@@ -44,6 +44,7 @@ from repro.analysis.liveness import region_live_out
 from repro.analysis.privatization import private_variables
 from repro.analysis.readonly import read_only_variables
 from repro.idempotency.rfw import RFWResult, analyze_rfw
+from repro.obs.tracer import _NULL_SPAN, TRACER, Tracer
 from repro.ir.program import Program
 from repro.ir.reference import MemoryReference
 from repro.ir.region import Region
@@ -136,86 +137,191 @@ def label_region(
     labeling passes over the same region reuse the read-only sets,
     access summaries, dependence graphs and RFW results instead of
     recomputing them.
+
+    With tracing armed (:data:`repro.obs.tracer.TRACER`) the pipeline
+    emits one ``analysis.label_region`` span with a child span per
+    phase (access / liveness / dependence / rfw / labeling); disabled,
+    the only cost is this single ``enabled`` check.
     """
-    if cache is not None:
-        read_only = cache.get_or_compute(
-            region, "read_only", lambda: read_only_variables(region)
+    if not TRACER.enabled:
+        return _label_region(
+            region, program, live_out, granularity, direction, fast_path, cache, None
         )
-        summaries = cache.get_or_compute(
-            region,
-            ("summaries", frozenset(read_only)),
-            lambda: summarize_region_segments(region, read_only_vars=read_only),
+    with TRACER.span(
+        "analysis.label_region", category="analysis", region=region.name
+    ):
+        return _label_region(
+            region, program, live_out, granularity, direction, fast_path, cache, TRACER
         )
-    else:
-        read_only = read_only_variables(region)
-        summaries = summarize_region_segments(region, read_only_vars=read_only)
 
-    if live_out is None:
-        # The declared set wins over anything derived from the program
-        # (region_live_out applies the same precedence internally; the
-        # explicit branch keeps the contract visible here and correct
-        # even without program context).
-        if region.live_out is not None:
-            live_out = set(region.live_out)
-        elif program is not None:
-            live_out = region_live_out(program, region)
+
+def _label_region(
+    region: Region,
+    program: Optional[Program],
+    live_out: Optional[Set[str]],
+    granularity: DependenceGranularity,
+    direction: DirectionMode,
+    fast_path: bool,
+    cache: Optional[AnalysisCache],
+    obs: Optional[Tracer],
+) -> LabelingResult:
+    # ``obs`` is the armed tracer or None; the conditional expressions
+    # below keep the disabled path free of span construction (kwargs
+    # dicts and tracer calls) — the bench gates this at <= 2% overhead.
+    with (
+        obs.span("analysis.access", category="analysis", region=region.name)
+        if obs is not None
+        else _NULL_SPAN
+    ):
+        if cache is not None:
+            read_only = cache.get_or_compute(
+                region, "read_only", lambda: read_only_variables(region)
+            )
+            summaries = cache.get_or_compute(
+                region,
+                ("summaries", frozenset(read_only)),
+                lambda: summarize_region_segments(region, read_only_vars=read_only),
+            )
         else:
-            live_out = {
-                ref.variable
-                for ref in region.references
-                if ref.access is AccessType.WRITE
-            }
+            read_only = read_only_variables(region)
+            summaries = summarize_region_segments(region, read_only_vars=read_only)
 
-    private = private_variables(region, live_out, summaries)
-    dependences = analyze_dependences(
-        region,
-        private_variables=private,
-        read_only=read_only,
-        granularity=granularity,
-        direction=direction,
-        fast_path=fast_path,
-        cache=cache,
-    )
-    if cache is not None:
-        rfw = cache.get_or_compute(
+    with (
+        obs.span("analysis.liveness", category="analysis", region=region.name)
+        if obs is not None
+        else _NULL_SPAN
+    ):
+        if live_out is None:
+            # The declared set wins over anything derived from the program
+            # (region_live_out applies the same precedence internally; the
+            # explicit branch keeps the contract visible here and correct
+            # even without program context).
+            if region.live_out is not None:
+                live_out = set(region.live_out)
+            elif program is not None:
+                live_out = region_live_out(program, region)
+            else:
+                live_out = {
+                    ref.variable
+                    for ref in region.references
+                    if ref.access is AccessType.WRITE
+                }
+
+    with (
+        obs.span("analysis.dependence", category="analysis", region=region.name)
+        if obs is not None
+        else _NULL_SPAN
+    ):
+        private = private_variables(region, live_out, summaries)
+        dependences = analyze_dependences(
             region,
-            ("rfw", frozenset(live_out), frozenset(read_only)),
-            lambda: analyze_rfw(
-                region, live_out, summaries=summaries, read_only=read_only
-            ),
+            private_variables=private,
+            read_only=read_only,
+            granularity=granularity,
+            direction=direction,
+            fast_path=fast_path,
+            cache=cache,
         )
-    else:
-        rfw = analyze_rfw(region, live_out, summaries=summaries, read_only=read_only)
-    control_dep = has_cross_segment_control_dependence(region)
-    fully_independent = (
-        not dependences.has_cross_segment_dependences() and not control_dep
-    )
+    with (
+        obs.span("analysis.rfw", category="analysis", region=region.name)
+        if obs is not None
+        else _NULL_SPAN
+    ):
+        if cache is not None:
+            rfw = cache.get_or_compute(
+                region,
+                ("rfw", frozenset(live_out), frozenset(read_only)),
+                lambda: analyze_rfw(
+                    region, live_out, summaries=summaries, read_only=read_only
+                ),
+            )
+        else:
+            rfw = analyze_rfw(
+                region, live_out, summaries=summaries, read_only=read_only
+            )
+    with (
+        obs.span("analysis.labeling", category="analysis", region=region.name)
+        if obs is not None
+        else _NULL_SPAN
+    ):
+        control_dep = has_cross_segment_control_dependence(region)
+        fully_independent = (
+            not dependences.has_cross_segment_dependences() and not control_dep
+        )
 
-    labels: Dict[str, RefLabel] = {
-        ref.uid: RefLabel.SPECULATIVE for ref in region.references
-    }
-    categories: Dict[str, IdempotencyCategory] = {
-        ref.uid: IdempotencyCategory.NOT_IDEMPOTENT for ref in region.references
-    }
+        labels: Dict[str, RefLabel] = {
+            ref.uid: RefLabel.SPECULATIVE for ref in region.references
+        }
+        categories: Dict[str, IdempotencyCategory] = {
+            ref.uid: IdempotencyCategory.NOT_IDEMPOTENT for ref in region.references
+        }
 
-    def mark_idempotent(ref: MemoryReference, category: IdempotencyCategory) -> None:
-        labels[ref.uid] = RefLabel.IDEMPOTENT
-        categories[ref.uid] = category
+        def mark_idempotent(ref: MemoryReference, category: IdempotencyCategory) -> None:
+            labels[ref.uid] = RefLabel.IDEMPOTENT
+            categories[ref.uid] = category
 
-    if fully_independent:
-        # Lemma 7: no roll-backs can occur, every reference is idempotent.
+        if fully_independent:
+            # Lemma 7: no roll-backs can occur, every reference is idempotent.
+            for ref in region.references:
+                if ref.variable in read_only:
+                    mark_idempotent(ref, IdempotencyCategory.READ_ONLY)
+                elif ref.variable in private:
+                    mark_idempotent(ref, IdempotencyCategory.PRIVATE)
+                else:
+                    mark_idempotent(ref, IdempotencyCategory.FULLY_INDEPENDENT)
+            return LabelingResult(
+                region=region,
+                labels=labels,
+                categories=categories,
+                fully_independent=True,
+                read_only_vars=read_only,
+                private_vars=private,
+                live_out=set(live_out),
+                rfw=rfw,
+                dependences=dependences,
+                summaries=summaries,
+            )
+
+        # Dependent region: Algorithm 2, step 3.
         for ref in region.references:
             if ref.variable in read_only:
                 mark_idempotent(ref, IdempotencyCategory.READ_ONLY)
             elif ref.variable in private:
                 mark_idempotent(ref, IdempotencyCategory.PRIVATE)
-            else:
-                mark_idempotent(ref, IdempotencyCategory.FULLY_INDEPENDENT)
+
+        # Idempotent writes (Theorem 1): RFW and not a cross-segment sink.
+        for ref in region.references:
+            if ref.access is not AccessType.WRITE:
+                continue
+            if labels[ref.uid] is RefLabel.IDEMPOTENT:
+                continue
+            if rfw.is_rfw(ref) and not dependences.is_cross_segment_sink(ref):
+                mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+
+        # Idempotent reads (Theorem 2): no dependences sink into the read, or
+        # everything sinking into it is intra-segment with an idempotent source.
+        for ref in region.references:
+            if ref.access is not AccessType.READ:
+                continue
+            if labels[ref.uid] is RefLabel.IDEMPOTENT:
+                continue
+            sink_deps = dependences.deps_with_sink(ref)
+            if not sink_deps:
+                mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+                continue
+            if all(
+                not dep.is_cross_segment
+                and dep.source.access is AccessType.WRITE
+                and labels[dep.source.uid] is RefLabel.IDEMPOTENT
+                for dep in sink_deps
+            ):
+                mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
+
         return LabelingResult(
             region=region,
             labels=labels,
             categories=categories,
-            fully_independent=True,
+            fully_independent=False,
             read_only_vars=read_only,
             private_vars=private,
             live_out=set(live_out),
@@ -223,54 +329,6 @@ def label_region(
             dependences=dependences,
             summaries=summaries,
         )
-
-    # Dependent region: Algorithm 2, step 3.
-    for ref in region.references:
-        if ref.variable in read_only:
-            mark_idempotent(ref, IdempotencyCategory.READ_ONLY)
-        elif ref.variable in private:
-            mark_idempotent(ref, IdempotencyCategory.PRIVATE)
-
-    # Idempotent writes (Theorem 1): RFW and not a cross-segment sink.
-    for ref in region.references:
-        if ref.access is not AccessType.WRITE:
-            continue
-        if labels[ref.uid] is RefLabel.IDEMPOTENT:
-            continue
-        if rfw.is_rfw(ref) and not dependences.is_cross_segment_sink(ref):
-            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
-
-    # Idempotent reads (Theorem 2): no dependences sink into the read, or
-    # everything sinking into it is intra-segment with an idempotent source.
-    for ref in region.references:
-        if ref.access is not AccessType.READ:
-            continue
-        if labels[ref.uid] is RefLabel.IDEMPOTENT:
-            continue
-        sink_deps = dependences.deps_with_sink(ref)
-        if not sink_deps:
-            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
-            continue
-        if all(
-            not dep.is_cross_segment
-            and dep.source.access is AccessType.WRITE
-            and labels[dep.source.uid] is RefLabel.IDEMPOTENT
-            for dep in sink_deps
-        ):
-            mark_idempotent(ref, IdempotencyCategory.SHARED_DEPENDENT)
-
-    return LabelingResult(
-        region=region,
-        labels=labels,
-        categories=categories,
-        fully_independent=False,
-        read_only_vars=read_only,
-        private_vars=private,
-        live_out=set(live_out),
-        rfw=rfw,
-        dependences=dependences,
-        summaries=summaries,
-    )
 
 
 def label_program(

@@ -1,0 +1,86 @@
+"""Unified observability layer: span tracing, metrics, trace export.
+
+The subsystems of this repository each grew their own telemetry --
+:class:`~repro.runtime.stats.ExecutionStats` counters,
+:class:`~repro.timing.events.TimingRecorder` recordings, resilience
+:class:`~repro.runtime.engines.DegradationReport` payloads, checker JSON
+reports -- and mostly discard it after aggregation.  ``repro.obs`` is
+the layer that makes all of it *inspectable*:
+
+:mod:`repro.obs.tracer`
+    A thread-safe span tracer (context managers, decorators, nested
+    spans, instant events, attributes).  Disabled by default; every
+    instrumentation site in the analyzer, the engines, the resilience
+    layer and the checker costs one attribute check when tracing is
+    off, so the production fast paths are unperturbed (the bench gate
+    enforces <= 2% overhead with observability disabled).
+
+:mod:`repro.obs.metrics`
+    A process-wide registry of counters / gauges / histograms with
+    adapters that *ingest* the existing telemetry objects
+    (``ExecutionStats``, timing ``Recording``, ``DegradationReport``,
+    ``AnalysisCache`` stats) instead of duplicating their accounting.
+
+:mod:`repro.obs.export`
+    Chrome-trace-event (Perfetto-compatible) JSON export: span trees as
+    slices + flow arrows, and the multiprocessor timing schedule of
+    :mod:`repro.timing.schedule` as per-processor-lane timelines where
+    segment attempts are slices and dispatch / stall / squash / commit
+    are colored or instant events.
+
+:mod:`repro.obs.log`
+    The shared structured logger behind the bench and check CLIs
+    (``--quiet``, JSON-lines output).
+
+``python -m repro.obs`` summarizes and schema-validates exported trace
+and metrics files (the CI smoke gates on it).  See
+``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ingest_cache_stats,
+    ingest_degradation,
+    ingest_execution_stats,
+    ingest_recording,
+    metrics_registry,
+    validate_metrics,
+)
+from repro.obs.tracer import TRACER, Span, Tracer, traced
+
+__all__ = [
+    "TRACER",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "ingest_cache_stats",
+    "ingest_degradation",
+    "ingest_execution_stats",
+    "ingest_recording",
+    "metrics_registry",
+    "traced",
+    "validate_metrics",
+]
+
+
+def enable() -> None:
+    """Arm the whole observability layer (tracer + metrics collection)."""
+    TRACER.enable()
+    metrics_registry().enable()
+
+
+def disable() -> None:
+    """Disarm tracing and metrics collection (recorded data is kept)."""
+    TRACER.disable()
+    metrics_registry().disable()
+
+
+def enabled() -> bool:
+    """True when the span tracer is currently armed."""
+    return TRACER.enabled

@@ -1,0 +1,134 @@
+"""Observability artifact tool: ``python -m repro.obs``.
+
+Two subcommands over the artifacts the bench/check CLIs export:
+
+``validate PATH [PATH ...]``
+    Schema-check each file -- Chrome trace (``traceEvents``) or metrics
+    snapshot (``repro.obs.metrics/v1``), detected by content.  Exit 1
+    on any error; this is the CI gate behind the observability smoke.
+
+``summary PATH [PATH ...]``
+    Human-oriented totals: event / lane / slice counts and span extent
+    for traces, instrument counts for metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from repro.obs.export import summarize_trace, validate_chrome_trace
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import SCHEMA as METRICS_SCHEMA
+from repro.obs.metrics import validate_metrics
+
+LOG = get_logger("obs")
+
+
+def _load(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _kind_of(payload: Any) -> str:
+    if isinstance(payload, dict):
+        if "traceEvents" in payload:
+            return "trace"
+        if payload.get("schema") == METRICS_SCHEMA:
+            return "metrics"
+    return "unknown"
+
+
+def _validate(paths: List[str]) -> int:
+    failures = 0
+    for path in paths:
+        try:
+            payload = _load(path)
+        except (OSError, ValueError) as exc:
+            LOG.error(f"{path}: unreadable: {exc}")
+            failures += 1
+            continue
+        kind = _kind_of(payload)
+        if kind == "trace":
+            errors = validate_chrome_trace(payload)
+        elif kind == "metrics":
+            errors = validate_metrics(payload)
+        else:
+            errors = [
+                "unrecognized payload: neither a Chrome trace "
+                f"(traceEvents) nor a {METRICS_SCHEMA!r} snapshot"
+            ]
+        if errors:
+            failures += 1
+            for error in errors[:20]:
+                LOG.error(f"{path}: {error}")
+            if len(errors) > 20:
+                LOG.error(f"{path}: ... and {len(errors) - 20} more")
+        else:
+            LOG.info(f"{path}: OK ({kind})")
+    return 1 if failures else 0
+
+
+def _summary(paths: List[str]) -> int:
+    status = 0
+    for path in paths:
+        try:
+            payload = _load(path)
+        except (OSError, ValueError) as exc:
+            LOG.error(f"{path}: unreadable: {exc}")
+            status = 1
+            continue
+        kind = _kind_of(payload)
+        if kind == "trace":
+            info = summarize_trace(payload)
+            LOG.info(
+                f"{path}: {info['events']} events, "
+                f"{len(info['processes'])} processes, {info['lanes']} lanes, "
+                f"{info['slices']} slices, {info['instant_events']} instant "
+                f"events, extent {info['span_end_us']:.1f} us"
+            )
+            for name in info["processes"]:
+                LOG.info(f"  process: {name}")
+            for name, count in info["top_names"]:
+                LOG.info(f"  {count:>6} x {name}")
+        elif kind == "metrics":
+            LOG.info(
+                f"{path}: metrics snapshot -- "
+                f"{len(payload.get('counters', {}))} counters, "
+                f"{len(payload.get('gauges', {}))} gauges, "
+                f"{len(payload.get('histograms', {}))} histograms"
+            )
+            for name, value in sorted(payload.get("counters", {}).items()):
+                LOG.info(f"  {name} = {value}")
+        else:
+            LOG.error(f"{path}: unrecognized payload")
+            status = 1
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize / validate exported observability artifacts.",
+    )
+    parser.add_argument(
+        "command", choices=("summary", "validate"), help="what to do"
+    )
+    parser.add_argument("paths", nargs="+", help="trace / metrics JSON files")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress info output"
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", help="JSON-lines log output"
+    )
+    args = parser.parse_args(argv)
+    configure_logging(quiet=args.quiet, json_lines=args.log_json)
+    if args.command == "validate":
+        return _validate(args.paths)
+    return _summary(args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

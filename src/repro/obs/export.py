@@ -1,0 +1,405 @@
+"""Chrome-trace-event (Perfetto-compatible) JSON export.
+
+Two renderers share one :class:`ChromeTraceBuilder`:
+
+* :meth:`ChromeTraceBuilder.add_spans` turns the tracer's wall-clock
+  span tree into nested slices (one Chrome *thread* per real thread)
+  plus flow arrows connecting parents to children that ran on another
+  thread, and the tracer's instant events into instant markers;
+
+* :meth:`ChromeTraceBuilder.add_schedule` turns a
+  :class:`~repro.timing.makespan.MakespanResult` into per-processor
+  timelines in the *simulated cycle* domain (1 cycle = 1 us): every
+  segment occurrence is a slice on its processor's lane, each recorded
+  execution attempt a nested slice colored by outcome (committed /
+  squashed / discarded), stall windows nested grey slices, and
+  dispatch / squash / commit instant events -- which makes the paper's
+  storage-pressure collapse (HOSE serializing at tight capacity while
+  CASE keeps all lanes busy) literally visible in the Perfetto UI.
+
+The module is deliberately a *leaf*: every input is duck-typed, so the
+tracer, timing and runtime layers can be imported in any order.  Open
+exported files at https://ui.perfetto.dev (or chrome://tracing).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Chrome trace colors by attempt outcome (catapult reserved names).
+_OUTCOME_COLORS = {
+    "committed": "good",
+    "squashed": "terrible",
+    "discarded": "bad",
+    "active": "grey",
+}
+
+#: Event phases the validator accepts.
+_KNOWN_PHASES = frozenset("BEXiIsftMCbne")
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace events; one process per logical event source."""
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, Any]] = []
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self._flow_id = 0
+
+    # ------------------------------------------------------------------
+    # process / thread naming
+    # ------------------------------------------------------------------
+    def _process(self, label: str, sort_index: Optional[int] = None) -> int:
+        pid = self._pids.get(label)
+        if pid is None:
+            pid = self._pids[label] = len(self._pids) + 1
+            self._events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+            if sort_index is not None:
+                self._events.append(
+                    {
+                        "ph": "M",
+                        "name": "process_sort_index",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"sort_index": sort_index},
+                    }
+                )
+        return pid
+
+    def _thread(self, pid: int, label: str) -> int:
+        key = (pid, label)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = (
+                len([k for k in self._tids if k[0] == pid]) + 1
+            )
+            self._events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        return tid
+
+    # ------------------------------------------------------------------
+    # tracer spans -> slices + flow arrows
+    # ------------------------------------------------------------------
+    def add_spans(
+        self,
+        spans: Sequence[Any],
+        events: Sequence[Any] = (),
+        process: str = "tracer",
+    ) -> None:
+        """Render tracer spans/events (wall clock, ns -> us)."""
+        if not spans and not events:
+            return
+        pid = self._process(process, sort_index=0)
+        base = min(
+            [s.start_ns for s in spans] + [e.timestamp_ns for e in events]
+        )
+        by_id = {s.span_id: s for s in spans}
+        thread_tid: Dict[int, int] = {}
+
+        def tid_for(thread_id: int, thread_name: str) -> int:
+            tid = thread_tid.get(thread_id)
+            if tid is None:
+                tid = thread_tid[thread_id] = self._thread(
+                    pid, f"{thread_name} ({thread_id})"
+                )
+            return tid
+
+        for span in sorted(spans, key=lambda s: s.start_ns):
+            tid = tid_for(span.thread_id, span.thread_name)
+            self._events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (span.start_ns - base) / 1000.0,
+                    "dur": span.duration_ns / 1000.0,
+                    "args": dict(span.attributes),
+                }
+            )
+            parent = by_id.get(span.parent_id) if span.parent_id else None
+            if parent is not None and parent.thread_id != span.thread_id:
+                # Cross-thread parent/child edge: draw a flow arrow.
+                self._flow_id += 1
+                common = {
+                    "name": "span-tree",
+                    "cat": span.category,
+                    "id": self._flow_id,
+                    "pid": pid,
+                }
+                self._events.append(
+                    {
+                        **common,
+                        "ph": "s",
+                        "tid": tid_for(parent.thread_id, parent.thread_name),
+                        "ts": (span.start_ns - base) / 1000.0,
+                    }
+                )
+                self._events.append(
+                    {
+                        **common,
+                        "ph": "f",
+                        "bp": "e",
+                        "tid": tid,
+                        "ts": (span.start_ns - base) / 1000.0,
+                    }
+                )
+        for event in events:
+            span = by_id.get(event.parent_id) if event.parent_id else None
+            thread_name = span.thread_name if span is not None else "events"
+            self._events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": event.name,
+                    "cat": event.category,
+                    "pid": pid,
+                    "tid": tid_for(event.thread_id, thread_name),
+                    "ts": (event.timestamp_ns - base) / 1000.0,
+                    "args": dict(event.attributes),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # timing schedule -> per-processor lanes (simulated cycles)
+    # ------------------------------------------------------------------
+    def add_schedule(self, makespan: Any, label: Optional[str] = None) -> None:
+        """Render one ``MakespanResult`` as per-processor timelines.
+
+        ``label`` names the Chrome *process* grouping the lanes; it
+        defaults to ``"<engine> <program> P=<processors>"``.
+        """
+        if label is None:
+            label = (
+                f"{makespan.engine} {makespan.program} "
+                f"P={makespan.processors} w={makespan.window}"
+            )
+        pid = self._process(label)
+        lane_tids = {
+            p: self._thread(pid, f"P{p}") for p in range(makespan.processors)
+        }
+        for schedule in makespan.regions:
+            for seg in schedule.segments:
+                tid = lane_tids[seg.processor]
+                name = _segment_name(seg.key)
+                self._events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "name": "dispatch",
+                        "cat": "schedule",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": float(seg.dispatch_time),
+                        "args": {"age": seg.age, "segment": name},
+                    }
+                )
+                # The whole occurrence (all attempts + commit wait).
+                self._events.append(
+                    {
+                        "ph": "X",
+                        "name": name,
+                        "cat": f"segment.{schedule.name}",
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": float(seg.start_time),
+                        "dur": float(max(0, seg.commit_time - seg.start_time)),
+                        "args": {
+                            "age": seg.age,
+                            "region": schedule.name,
+                            "outcome": seg.outcome,
+                            "attempts": seg.attempts,
+                            "busy_cycles": seg.busy_cycles,
+                            "wasted_cycles": seg.wasted_cycles,
+                            "stall_cycles": seg.stall_cycles,
+                        },
+                    }
+                )
+                for index, (begin, end, outcome) in enumerate(
+                    seg.attempt_windows
+                ):
+                    self._events.append(
+                        {
+                            "ph": "X",
+                            "name": f"attempt {index + 1} ({outcome})",
+                            "cat": "attempt",
+                            "cname": _OUTCOME_COLORS.get(outcome, "grey"),
+                            "pid": pid,
+                            "tid": tid,
+                            "ts": float(begin),
+                            "dur": float(max(0, end - begin)),
+                            "args": {"age": seg.age, "outcome": outcome},
+                        }
+                    )
+                    if outcome == "squashed":
+                        self._events.append(
+                            {
+                                "ph": "i",
+                                "s": "t",
+                                "name": "squash",
+                                "cat": "schedule",
+                                "cname": "terrible",
+                                "pid": pid,
+                                "tid": tid,
+                                "ts": float(end),
+                                "args": {"age": seg.age},
+                            }
+                        )
+                for begin, end, reason in seg.stall_windows:
+                    if end <= begin:
+                        continue
+                    self._events.append(
+                        {
+                            "ph": "X",
+                            "name": f"stall ({reason})",
+                            "cat": "stall",
+                            "cname": "grey",
+                            "pid": pid,
+                            "tid": tid,
+                            "ts": float(begin),
+                            "dur": float(end - begin),
+                            "args": {"age": seg.age, "reason": reason},
+                        }
+                    )
+                if seg.outcome == "committed":
+                    self._events.append(
+                        {
+                            "ph": "i",
+                            "s": "t",
+                            "name": "commit",
+                            "cat": "schedule",
+                            "cname": "good",
+                            "pid": pid,
+                            "tid": tid,
+                            "ts": float(seg.commit_time),
+                            "args": {"age": seg.age, "segment": name},
+                        }
+                    )
+
+    # ------------------------------------------------------------------
+    def build(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The complete Chrome trace object (JSON-ready)."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": dict(meta) if meta else {},
+        }
+
+    def write(self, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.build(meta), handle, indent=1)
+            handle.write("\n")
+
+
+def _segment_name(key: Any) -> str:
+    """Compact display name of one segment-occurrence key."""
+    try:
+        parts = [str(part) for part in key]
+    except TypeError:
+        return str(key)
+    if not parts:
+        return "segment"
+    return parts[0] + "[" + ", ".join(parts[1:]) + "]" if len(parts) > 1 else parts[0]
+
+
+# ----------------------------------------------------------------------
+# Validation (python -m repro.obs validate).
+# ----------------------------------------------------------------------
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema-check one Chrome trace object; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"trace must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace must contain a traceEvents array"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append(f"{where}: missing integer {field!r}")
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                errors.append(f"{where}: metadata event without args")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: missing non-negative ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                errors.append(f"{where}: complete event without dur >= 0")
+        if phase in "sf" and "id" not in event:
+            errors.append(f"{where}: flow event without id")
+    return errors
+
+
+def summarize_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Human-oriented totals of one trace file (for the CLI summary)."""
+    events = payload.get("traceEvents", [])
+    processes: Dict[int, str] = {}
+    lanes = 0
+    slices = 0
+    instants = 0
+    end = 0.0
+    names: Dict[str, int] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "process_name":
+                processes[event["pid"]] = event["args"].get("name", "?")
+            elif event.get("name") == "thread_name":
+                lanes += 1
+            continue
+        if phase == "X":
+            slices += 1
+            end = max(end, float(event.get("ts", 0)) + float(event.get("dur", 0)))
+        elif phase == "i":
+            instants += 1
+            end = max(end, float(event.get("ts", 0)))
+        name = event.get("name")
+        if isinstance(name, str):
+            names[name] = names.get(name, 0) + 1
+    return {
+        "events": len(events),
+        "processes": sorted(processes.values()),
+        "lanes": lanes,
+        "slices": slices,
+        "instant_events": instants,
+        "span_end_us": end,
+        "top_names": sorted(names.items(), key=lambda kv: -kv[1])[:12],
+    }

@@ -1,0 +1,132 @@
+"""Shared structured logger for the CLI drivers.
+
+The bench and check entry points used to ``print()`` ad-hoc progress
+lines; every driver now routes through one :class:`StructuredLogger`
+so output is uniform and machine-consumable:
+
+* **human mode** (default) keeps the familiar ``[bench] message``
+  shape -- info to stdout, warnings/errors to stderr;
+* **JSON-lines mode** (``--log-json``) emits one JSON object per line
+  (``ts`` / ``logger`` / ``level`` / ``msg`` plus any structured
+  fields), ready for ``jq`` or ingestion;
+* **quiet mode** (``--quiet``) suppresses info/debug chatter while
+  warnings and errors still get through.
+
+Configuration is process-wide (:func:`configure_logging`), loggers are
+cheap named handles (:func:`get_logger`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+
+_lock = threading.Lock()
+_config: Dict[str, Any] = {
+    "quiet": False,
+    "json_lines": False,
+    "stream": None,  # None = stdout for info, stderr for warning+
+    "level": INFO,
+}
+
+
+def configure_logging(
+    quiet: Optional[bool] = None,
+    json_lines: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+    level: Optional[int] = None,
+) -> None:
+    """Set process-wide logging behaviour (None = leave unchanged)."""
+    with _lock:
+        if quiet is not None:
+            _config["quiet"] = quiet
+        if json_lines is not None:
+            _config["json_lines"] = json_lines
+        if stream is not None:
+            _config["stream"] = stream
+        if level is not None:
+            _config["level"] = level
+
+
+def reset_logging() -> None:
+    """Back to defaults (used by tests)."""
+    with _lock:
+        _config.update(quiet=False, json_lines=False, stream=None, level=INFO)
+
+
+class StructuredLogger:
+    """A named logging handle; all state lives in the module config."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def log(self, level: int, msg: str, **fields: Any) -> None:
+        with _lock:
+            quiet = _config["quiet"]
+            json_lines = _config["json_lines"]
+            stream = _config["stream"]
+            threshold = _config["level"]
+        if level < threshold:
+            return
+        if quiet and level < WARNING:
+            return
+        if json_lines:
+            payload: Dict[str, Any] = {
+                "ts": round(time.time(), 3),
+                "logger": self.name,
+                "level": _LEVEL_NAMES.get(level, str(level)),
+                "msg": msg,
+            }
+            if fields:
+                payload.update(fields)
+            out = stream or sys.stdout
+            print(json.dumps(payload, default=str), file=out, flush=True)
+            return
+        out = stream or (sys.stderr if level >= WARNING else sys.stdout)
+        prefix = f"[{self.name}]"
+        if level >= ERROR:
+            prefix += " ERROR:"
+        elif level >= WARNING:
+            prefix += " WARNING:"
+        suffix = ""
+        if fields:
+            suffix = " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        print(f"{prefix} {msg}{suffix}", file=out, flush=True)
+
+    # ------------------------------------------------------------------
+    def debug(self, msg: str, **fields: Any) -> None:
+        self.log(DEBUG, msg, **fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self.log(INFO, msg, **fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self.log(WARNING, msg, **fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self.log(ERROR, msg, **fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The shared logger handle for ``name`` (created on first use)."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger

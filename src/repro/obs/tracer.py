@@ -1,0 +1,302 @@
+"""Thread-safe span tracer with a no-op fast path.
+
+One process-wide :data:`TRACER` instance collects **spans** (named,
+nested, wall-clock-timed stretches of work with attributes) and
+**instant events** (zero-duration markers).  Each thread keeps its own
+span stack, so concurrent sessions nest correctly; finished spans and
+events land in shared lists guarded by one lock.
+
+The tracer is *disabled by default* and every public hook starts with a
+single ``enabled`` check returning a shared no-op handle, so an
+uninstrumented run pays one attribute lookup per call site -- cheap
+enough that the instrumented analyzer and engine fast paths stay within
+the bench's <= 2% disabled-overhead budget.  Hot loops that want to skip
+even that can snapshot ``TRACER if TRACER.enabled else None`` once (the
+pattern the engines use, mirroring their ``recorder`` guard).
+
+Typical use::
+
+    from repro.obs.tracer import TRACER
+
+    with TRACER.span("analysis.dependence", region=region.name):
+        graph = analyze_dependences(region)
+
+    TRACER.event("engine.squash", age=task.age, by=writer.age)
+
+    @traced("bench.scenario")
+    def run_scenario(...): ...
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced stretch of work."""
+
+    name: str
+    category: str
+    span_id: int
+    parent_id: Optional[int]
+    thread_id: int
+    thread_name: str
+    start_ns: int
+    end_ns: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class InstantEvent:
+    """A zero-duration marker (squash, commit, degradation, ...)."""
+
+    name: str
+    category: str
+    thread_id: int
+    timestamp_ns: int
+    parent_id: Optional[int]
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "thread_id": self.thread_id,
+            "timestamp_ns": self.timestamp_ns,
+            "parent_id": self.parent_id,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpanHandle:
+    """Shared no-op handle returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpanHandle":
+        return self
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one real span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attributes: Any) -> "_SpanHandle":
+        """Attach attributes to the span while it is open."""
+        self.span.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self.span)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc_type is not None:
+            self.span.attributes.setdefault(
+                "error", getattr(exc_type, "__name__", str(exc_type))
+            )
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events across threads."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._events: List[InstantEvent] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans/events (thread stacks survive)."""
+        with self._lock:
+            self._spans.clear()
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "app", **attributes: Any):
+        """A context manager tracing one stretch of work.
+
+        No-op (shared null handle, no allocation) while disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        thread = threading.current_thread()
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        span = Span(
+            name=name,
+            category=category,
+            span_id=span_id,
+            parent_id=self._current_id(),
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            start_ns=time.perf_counter_ns(),
+            attributes=dict(attributes) if attributes else {},
+        )
+        return _SpanHandle(self, span)
+
+    def event(self, name: str, category: str = "app", **attributes: Any) -> None:
+        """Record an instant event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        thread = threading.current_thread()
+        record = InstantEvent(
+            name=name,
+            category=category,
+            thread_id=thread.ident or 0,
+            timestamp_ns=time.perf_counter_ns(),
+            parent_id=self._current_id(),
+            attributes=dict(attributes) if attributes else {},
+        )
+        with self._lock:
+            self._events.append(record)
+
+    # ------------------------------------------------------------------
+    # span stack plumbing (per thread)
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        stack = self._stack()
+        # Tolerate a mismatched exit (e.g. a span closed out of order
+        # after an exception) instead of corrupting the whole stack.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def events(self) -> List[InstantEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All recorded data as one JSON-ready payload."""
+        with self._lock:
+            spans = [s.as_dict() for s in self._spans]
+            events = [e.as_dict() for e in self._events]
+        return {"schema": "repro.obs.spans/v1", "spans": spans, "events": events}
+
+
+#: The process-wide tracer every instrumentation site talks to.
+TRACER = Tracer()
+
+
+def traced(
+    name: Optional[str] = None, category: str = "app"
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator tracing every call of the wrapped function as a span."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not TRACER.enabled:
+                return fn(*args, **kwargs)
+            with TRACER.span(span_name, category=category):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def span_tree(spans: List[Span]) -> Dict[Optional[int], List[Span]]:
+    """Index finished spans by parent id (None = roots)."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.start_ns)
+    return children
+
+
+__all__: Tuple[str, ...] = (
+    "InstantEvent",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "span_tree",
+    "traced",
+)

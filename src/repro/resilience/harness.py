@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.ir.program import Program
+from repro.obs.tracer import TRACER
 from repro.resilience.auditor import InvariantAuditor
 from repro.resilience.faults import FaultInjector, FaultPlan, FaultySpeculativeStore
 from repro.runtime.engines import (
@@ -65,16 +66,23 @@ def run_resilient(
         injector = FaultInjector(plan, seed=seed)
         store = FaultySpeculativeStore(capacity, injector)
     auditor = InvariantAuditor() if audit else None
-    runner = cls(
-        program,
-        window=window,
-        capacity=capacity,
-        store=store,
-        injector=injector,
-        auditor=auditor,
-        max_restarts=max_restarts,
-        watchdog_rounds=watchdog_rounds,
-        fallback=fallback,
-        **engine_kwargs,
-    )
-    return runner.run()
+    with TRACER.span(
+        "resilience.run",
+        category="resilience",
+        program=program.name,
+        engine=engine,
+        faulted=bool(injector),
+    ):
+        runner = cls(
+            program,
+            window=window,
+            capacity=capacity,
+            store=store,
+            injector=injector,
+            auditor=auditor,
+            max_restarts=max_restarts,
+            watchdog_rounds=watchdog_rounds,
+            fallback=fallback,
+            **engine_kwargs,
+        )
+        return runner.run()

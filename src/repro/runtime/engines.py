@@ -63,6 +63,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.program import Program
 from repro.ir.region import EXIT_NODE, ExplicitRegion, LoopRegion, Region
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import TRACER, _NULL_SPAN
 from repro.ir.symbols import SymbolError
 from repro.ir.types import IdempotencyCategory, RefLabel
 from repro.runtime.errors import (
@@ -304,6 +306,10 @@ class SpeculativeEngine:
         )
         if recorder is not None:
             recorder.run_begin(program.name, self.engine_name, self.window)
+        #: Observability hook, snapshotted once (mirrors the recorder
+        #: guard): ``None`` while tracing is disabled, so every
+        #: lifecycle site costs a single identity check.
+        self._obs = TRACER if TRACER.enabled else None
         self._age = 0
         #: uid -> route for the region currently executing.
         self._routes: Dict[str, str] = {}
@@ -331,6 +337,19 @@ class SpeculativeEngine:
         sequential ground truth.  The result carries a
         :class:`DegradationReport` describing what failed.
         """
+        if self._obs is not None:
+            with self._obs.span(
+                "engine.run",
+                category="engine",
+                engine=self.engine_name,
+                program=self.program.name,
+                window=self.window,
+                capacity=self.capacity,
+            ):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> SpeculativeResult:
         memory = MemoryImage(self.program.symbols)
         stats = ExecutionStats()
         result = SpeculativeResult(
@@ -379,6 +398,17 @@ class SpeculativeEngine:
                 dict(self._injector.counts) if self._injector is not None else {}
             ),
         )
+        if self._obs is not None:
+            self._obs.event(
+                "engine.degraded",
+                category="engine",
+                engine=self.engine_name,
+                error_type=report.error_type,
+                region=report.region,
+            )
+        registry = obs_metrics.metrics_registry()
+        if registry.collecting:
+            obs_metrics.ingest_degradation(report, registry=registry)
         sequential = SequentialInterpreter(
             self.program, op_budget=self.op_budget, model_latency=False
         ).run()
@@ -423,14 +453,24 @@ class SpeculativeEngine:
                     region.name,
                     "loop" if isinstance(region, LoopRegion) else "explicit",
                 )
-            if isinstance(region, LoopRegion):
-                self._run_loop_region(region, memory, stats)
-            elif isinstance(region, ExplicitRegion):
-                self._run_explicit_region(region, memory, stats)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(
-                    f"unknown region type {type(region).__name__}"
+            with (
+                self._obs.span(
+                    "engine.region",
+                    category="engine",
+                    region=region.name,
+                    engine=self.engine_name,
                 )
+                if self._obs is not None
+                else _NULL_SPAN
+            ):
+                if isinstance(region, LoopRegion):
+                    self._run_loop_region(region, memory, stats)
+                elif isinstance(region, ExplicitRegion):
+                    self._run_explicit_region(region, memory, stats)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"unknown region type {type(region).__name__}"
+                    )
             if self.auditor is not None:
                 self.auditor.audit_region_end(self.store, region.name)
             if recorder is not None:
@@ -516,6 +556,10 @@ class SpeculativeEngine:
         stats.segments_started += 1
         if self._recorder is not None:
             self._recorder.segment_started(key, self._age)
+        if self._obs is not None:
+            self._obs.event(
+                "engine.dispatch", category="engine", age=self._age, segment=key
+            )
         return task
 
     def _restart(
@@ -546,6 +590,10 @@ class SpeculativeEngine:
         stats.segments_started += 1
         if self._recorder is not None:
             self._recorder.squashed(task.age, by_age)
+        if self._obs is not None:
+            self._obs.event(
+                "engine.squash", category="engine", age=task.age, by_age=by_age
+            )
 
     def _discard(self, task: _SegmentTask, stats: ExecutionStats) -> None:
         """Throw a wrong-path segment away (control misprediction)."""
@@ -557,6 +605,8 @@ class SpeculativeEngine:
         task.coroutine.close()
         if self._recorder is not None:
             self._recorder.discarded(task.age)
+        if self._obs is not None:
+            self._obs.event("engine.discard", category="engine", age=task.age)
 
     def _stall(self, task: _SegmentTask, stats: ExecutionStats) -> None:
         if not task.stalled:
@@ -564,6 +614,10 @@ class SpeculativeEngine:
             stats.overflow_stalls += 1
             if self._recorder is not None:
                 self._recorder.stalled(task.age)
+            if self._obs is not None:
+                self._obs.event(
+                    "engine.stall", category="engine", age=task.age
+                )
 
     def _unstall_oldest(
         self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
@@ -584,6 +638,10 @@ class SpeculativeEngine:
         task.stalled = False
         if self._recorder is not None:
             self._recorder.drained(task.age, drained)
+        if self._obs is not None:
+            self._obs.event(
+                "engine.drain", category="engine", age=task.age, entries=drained
+            )
 
     def _commit_task(
         self, task: _SegmentTask, memory: MemoryImage, stats: ExecutionStats
@@ -601,6 +659,13 @@ class SpeculativeEngine:
         self._rounds_since_commit = 0
         if self._recorder is not None:
             self._recorder.committed(task.age, entries + len(task.private))
+        if self._obs is not None:
+            self._obs.event(
+                "engine.commit",
+                category="engine",
+                age=task.age,
+                entries=entries + len(task.private),
+            )
 
     # ------------------------------------------------------------------
     # violation detection
@@ -838,6 +903,10 @@ class SpeculativeEngine:
                 break
         if oldest_poisoned is None:
             return
+        if self._obs is not None:
+            self._obs.event(
+                "engine.poison_scrub", category="engine", age=oldest_poisoned
+            )
         # A finished-but-uncommitted task restarts too: its buffer may
         # hold values derived from the corrupted forward.
         for task in active:
@@ -857,6 +926,10 @@ class SpeculativeEngine:
         the recovery footprint mirrors a data-dependence violation.
         Persistent faults exhaust the restart budget and degrade.
         """
+        if self._obs is not None:
+            self._obs.event(
+                "engine.fault_recovery", category="engine", age=task.age
+            )
         for other in active:
             if other.age >= task.age:
                 stats.fault_restarts += 1

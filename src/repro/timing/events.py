@@ -67,6 +67,17 @@ class AttemptRecord:
             phases.append([PHASE_RUN, cycles])
         self.busy_cycles += cycles
 
+    def as_dict(self) -> Dict:
+        return {
+            "phases": [list(phase) for phase in self.phases],
+            "busy_cycles": self.busy_cycles,
+            "outcome": self.outcome,
+            "squashed_by": self.squashed_by,
+            "squashed_by_attempt": self.squashed_by_attempt,
+            "squashed_at_elapsed": self.squashed_at_elapsed,
+            "commit_entries": self.commit_entries,
+        }
+
 
 @dataclass
 class SegmentRecord:
@@ -80,6 +91,14 @@ class SegmentRecord:
     def outcome(self) -> str:
         return self.attempts[-1].outcome if self.attempts else OUTCOME_ACTIVE
 
+    def as_dict(self) -> Dict:
+        return {
+            "key": list(self.key),
+            "age": self.age,
+            "outcome": self.outcome,
+            "attempts": [attempt.as_dict() for attempt in self.attempts],
+        }
+
 
 @dataclass
 class DirectSection:
@@ -87,6 +106,9 @@ class DirectSection:
 
     label: str = "direct"
     cycles: int = 0
+
+    def as_dict(self) -> Dict:
+        return {"type": "direct", "label": self.label, "cycles": self.cycles}
 
 
 @dataclass
@@ -97,6 +119,14 @@ class RegionRecording:
     kind: str  # "loop" | "explicit"
     #: Segment occurrences in age (= dispatch) order.
     segments: List[SegmentRecord] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return {
+            "type": "region",
+            "name": self.name,
+            "kind": self.kind,
+            "segments": [segment.as_dict() for segment in self.segments],
+        }
 
 
 Section = Union[DirectSection, RegionRecording]
@@ -117,6 +147,47 @@ class Recording:
 
     def direct_cycles(self) -> int:
         return sum(s.cycles for s in self.sections if isinstance(s, DirectSection))
+
+    def as_dict(self) -> Dict:
+        """The whole recording under one shared, versioned schema.
+
+        Traces, bench artifacts and the Chrome-trace exporter all
+        consume this shape -- nobody hand-rolls recording dicts.
+        """
+        return {
+            "schema": "repro.timing.recording/v1",
+            "program": self.program,
+            "engine": self.engine,
+            "window": self.window,
+            "cost": self.cost.as_dict(),
+            "sections": [section.as_dict() for section in self.sections],
+        }
+
+    def summary(self) -> Dict[str, int]:
+        """Scalar totals of the recording (metrics / bench rows)."""
+        segments = attempts = squashed = discarded = committed = busy = 0
+        for region in self.regions():
+            segments += len(region.segments)
+            for segment in region.segments:
+                attempts += len(segment.attempts)
+                if segment.outcome is OUTCOME_COMMITTED:
+                    committed += 1
+                for attempt in segment.attempts:
+                    busy += attempt.busy_cycles
+                    if attempt.outcome is OUTCOME_SQUASHED:
+                        squashed += 1
+                    elif attempt.outcome is OUTCOME_DISCARDED:
+                        discarded += 1
+        return {
+            "regions": len(self.regions()),
+            "segments": segments,
+            "attempts": attempts,
+            "squashed_attempts": squashed,
+            "discarded_attempts": discarded,
+            "committed_segments": committed,
+            "busy_cycles": busy,
+            "direct_cycles": self.direct_cycles(),
+        }
 
 
 class TimingRecorder:

@@ -64,6 +64,14 @@ class SegmentTiming:
     busy_cycles: int = 0
     wasted_cycles: int = 0
     stall_cycles: int = 0
+    #: Scheduled ``(begin, end, outcome)`` interval of every attempt --
+    #: the slices the Perfetto exporter renders on this segment's lane.
+    attempt_windows: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: ``(begin, end, reason)`` intervals the segment spent waiting:
+    #: ``drain-wait`` (overflowed, waiting to become oldest),
+    #: ``commit-arbitration`` (finished, waiting for the older commit),
+    #: ``squash-gate`` (restart gated at the violating write's time).
+    stall_windows: List[Tuple[int, int, str]] = field(default_factory=list)
 
 
 @dataclass
@@ -153,8 +161,11 @@ def schedule_region(
         commit_time = t
         pending_stall = False
         starts = attempt_starts[seg.age] = []
+        attempt_windows: List[Tuple[int, int, str]] = []
+        stall_windows: List[Tuple[int, int, str]] = []
         for attempt in seg.attempts:
             starts.append(t)
+            attempt_begin = t
             overhead = 0
             for phase in attempt.phases:
                 tag = phase[0]
@@ -168,6 +179,7 @@ def schedule_region(
                         # segment to retire.
                         if all_retired > t:
                             stall += all_retired - t
+                            stall_windows.append((t, all_retired, "drain-wait"))
                             t = all_retired
                         pending_stall = False
                     drain_cost = cost.commit_cost(phase[1])
@@ -178,6 +190,7 @@ def schedule_region(
                 # Commit arbitration: strictly after the older commit.
                 if last_commit > t:
                     stall += last_commit - t
+                    stall_windows.append((t, last_commit, "commit-arbitration"))
                     t = last_commit
                 commit_cost = cost.commit_cost(attempt.commit_entries)
                 t += commit_cost
@@ -202,10 +215,12 @@ def schedule_region(
                         violation = writer_starts[widx] + attempt.squashed_at_elapsed
                         if violation > t:
                             stall += violation - t
+                            stall_windows.append((t, violation, "squash-gate"))
                             t = violation
                     t += cost.squash_penalty
                     wasted += cost.squash_penalty
                 pending_stall = False
+            attempt_windows.append((attempt_begin, t, attempt.outcome))
         proc_free[processor] = t
         retire_times.append(t)
         if t > all_retired:
@@ -229,6 +244,8 @@ def schedule_region(
                 busy_cycles=busy,
                 wasted_cycles=wasted,
                 stall_cycles=stall,
+                attempt_windows=attempt_windows,
+                stall_windows=stall_windows,
             )
         )
         if t > schedule.end:
