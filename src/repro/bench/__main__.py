@@ -52,6 +52,13 @@ Common invocations::
                                           # also assert HOSE on P=4 beats
                                           # sequential on the parallel
                                           # families (CI smoke)
+    python -m repro.bench --scenarios engines --check-batch
+                                          # also assert the batched replay
+                                          # protocol beats op-interleaving
+                                          # in engine-sim throughput on
+                                          # reduction (CI smoke)
+    python -m repro.bench --no-batch      # run the engines with the
+                                          # op-interleaved replay only
     python -m repro.bench --scenarios speedup \
         --trace BENCH_trace.json --metrics BENCH_metrics.json
                                           # arm the observability layer:
@@ -87,11 +94,15 @@ from repro.bench.chaos import (
     measure_chaos,
 )
 from repro.bench.engines import (
+    BATCH_SMOKE_FAMILIES,
+    BATCH_SMOKE_SIZE,
     ENGINE_CAPACITIES,
     ENGINE_SIZE,
     ENGINE_SMOKE_SIZE,
     ENGINE_STATEMENTS,
     ENGINE_WINDOW,
+    check_batch_throughput,
+    measure_engine_throughput,
     measure_engines,
     verify_engines,
 )
@@ -240,6 +251,19 @@ def _parse_args(argv):
         "cycle total on the embarrassingly-parallel families",
     )
     parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run the speculative engines with op-interleaved replay "
+        "only (disable the batched segment-replay protocol everywhere)",
+    )
+    parser.add_argument(
+        "--check-batch",
+        action="store_true",
+        help="exit 1 unless batched replay beats op-interleaved replay "
+        "in engine-sim throughput on reduction (both bit-identical to "
+        "sequential); requires the engines scenario",
+    )
+    parser.add_argument(
         "--verify-engines",
         action="store_true",
         help="only check HOSE/CASE final-state equivalence vs the "
@@ -342,6 +366,23 @@ def main(argv=None) -> int:
             "reaches the speedup scenario; drop one of the two flags"
         )
         return 2
+    if args.check_batch and args.no_batch:
+        LOG.error("--check-batch and --no-batch are mutually exclusive")
+        return 2
+    if args.check_batch and "engines" not in selected:
+        LOG.error("--check-batch requires the engines scenario")
+        return 2
+    if args.check_batch and "reduction" not in args.families:
+        LOG.error("--check-batch requires reduction in --families")
+        return 2
+    if args.check_batch and args.verify_engines:
+        LOG.error(
+            "--verify-engines runs the equivalence check only and never "
+            "reaches the engine throughput sweep; drop one of the two "
+            "flags"
+        )
+        return 2
+    batch = not args.no_batch
 
     # Observability is armed only when an artifact was asked for, so
     # the default bench run measures the disabled fast path (this is
@@ -373,6 +414,7 @@ def main(argv=None) -> int:
             families=tuple(args.families),
             windows=windows,
             capacities=tuple(args.engine_capacities),
+            batch_modes=(False,) if args.no_batch else (False, True),
         )
         for failure in failures:
             LOG.error(f"FAIL {failure}")
@@ -381,7 +423,9 @@ def main(argv=None) -> int:
         LOG.info("engine equivalence OK (all final states bit-identical)")
         return 0
 
-    size = SMOKE_SIZE if args.smoke else args.size
+    # An explicit --size uniformly overrides every scenario's default
+    # (smoke or full); 0 keeps the per-scenario defaults.
+    size = args.size if args.size else (SMOKE_SIZE if args.smoke else 0)
     statements = SMOKE_STATEMENTS if args.smoke else args.statements
     min_seconds = 0.02 if args.smoke else args.min_seconds
 
@@ -435,7 +479,9 @@ def main(argv=None) -> int:
 
     engines_section = None
     if "engines" in selected:
-        engine_size = ENGINE_SMOKE_SIZE if args.smoke else ENGINE_SIZE
+        engine_size = args.size if args.size else (
+            ENGINE_SMOKE_SIZE if args.smoke else ENGINE_SIZE
+        )
         engine_statements = (
             SMOKE_STATEMENTS if args.smoke else ENGINE_STATEMENTS
         )
@@ -443,7 +489,8 @@ def main(argv=None) -> int:
             f"engines: HOSE vs CASE "
             f"(size={engine_size}, statements={engine_statements}, "
             f"window={args.engine_window}, "
-            f"capacities={args.engine_capacities}) ..."
+            f"capacities={args.engine_capacities}, "
+            f"batch={batch}) ..."
         )
         with TRACER.span("bench.scenario", category="bench", scenario="engines"):
             engines_section = {
@@ -451,18 +498,53 @@ def main(argv=None) -> int:
                 "statements": engine_statements,
                 "window": args.engine_window,
                 "capacities": list(args.engine_capacities),
+                "batch": batch,
                 "families": measure_engines(
                     size=engine_size,
                     statements=engine_statements,
                     families=tuple(args.families),
                     capacities=tuple(args.engine_capacities),
                     window=args.engine_window,
+                    batch=batch,
                 ),
             }
+        if batch:
+            # Batched vs op-interleaved replay throughput.  The smoke
+            # sweep sticks to the family/size the --check-batch gate
+            # needs (tiny sizes make the comparison timing-noisy); the
+            # full sweep runs every selected family at the per-family
+            # DEFAULT_SIZES (size=0 sentinel) unless --size overrides.
+            if args.smoke:
+                throughput_families = tuple(
+                    f for f in args.families if f in BATCH_SMOKE_FAMILIES
+                )
+                throughput_size = args.size if args.size else BATCH_SMOKE_SIZE
+            else:
+                throughput_families = tuple(args.families)
+                throughput_size = args.size
+            if throughput_families:
+                LOG.info(
+                    f"engines: batched vs interleaved replay throughput "
+                    f"(families={list(throughput_families)}, "
+                    f"size={throughput_size or 'default'}, "
+                    f"window={args.engine_window}) ..."
+                )
+                with TRACER.span(
+                    "bench.scenario",
+                    category="bench",
+                    scenario="engine-throughput",
+                ):
+                    engines_section["throughput"] = measure_engine_throughput(
+                        families=throughput_families,
+                        size=throughput_size,
+                        window=args.engine_window,
+                    )
 
     speedup_section = None
     if "speedup" in selected:
-        speedup_size = SPEEDUP_SMOKE_SIZE if args.smoke else SPEEDUP_SIZE
+        speedup_size = args.size if args.size else (
+            SPEEDUP_SMOKE_SIZE if args.smoke else SPEEDUP_SIZE
+        )
         speedup_statements = (
             SMOKE_STATEMENTS if args.smoke else SPEEDUP_STATEMENTS
         )
@@ -509,6 +591,7 @@ def main(argv=None) -> int:
                 "windows": windows,
                 "capacities": capacities,
                 "cost_model": DEFAULT_COST_MODEL.as_dict(),
+                "batch": batch,
                 "families": measure_speedups(
                     size=speedup_size,
                     statements=speedup_statements,
@@ -518,12 +601,15 @@ def main(argv=None) -> int:
                     capacities=tuple(capacities),
                     cost=DEFAULT_COST_MODEL,
                     observer=speedup_observer if observing else None,
+                    batch=batch,
                 ),
             }
 
     chaos_section = None
     if "chaos" in selected:
-        chaos_size = CHAOS_SMOKE_SIZE if args.smoke else CHAOS_SIZE
+        chaos_size = args.size if args.size else (
+            CHAOS_SMOKE_SIZE if args.smoke else CHAOS_SIZE
+        )
         chaos_rates = (
             list(CHAOS_SMOKE_RATES) if args.smoke else list(args.chaos_rates)
         )
@@ -541,12 +627,13 @@ def main(argv=None) -> int:
                 statements=CHAOS_STATEMENTS,
                 families=tuple(args.families),
                 rates=tuple(chaos_rates),
+                batch=batch,
                 **chaos_kwargs,
             )
 
     precision_section = None
     if "precision" in selected:
-        precision_size = (
+        precision_size = args.size if args.size else (
             PRECISION_SMOKE_SIZE if args.smoke else PRECISION_SIZE
         )
         precision_statements = (
@@ -671,12 +758,39 @@ def main(argv=None) -> int:
                     f"stalls: hose={hose['overflow_stalls']:>4} "
                     f"case={case['overflow_stalls']:>4}"
                 )
+        throughput = engines_section.get("throughput")
+        if throughput is not None:
+            for family, row in throughput["families"].items():
+                for side in ("interleaved", "batched"):
+                    if not row[side]["matches_sequential"]:
+                        mismatches += 1
+                LOG.info(
+                    f"{family:<10} size={row['size']:>5}  throughput: "
+                    f"interleaved="
+                    f"{row['interleaved']['ops_per_s']:>10,.0f} ops/s  "
+                    f"batched={row['batched']['ops_per_s']:>10,.0f} ops/s  "
+                    f"speedup={row['speedup']}x"
+                )
+            LOG.info(
+                f"batched replay speedup geomean: "
+                f"{throughput['speedup_geomean']}x"
+            )
         if mismatches:
             LOG.warning(
                 f"{mismatches} engine runs diverged from "
                 f"the sequential interpreter"
             )
             return 1
+        if args.check_batch:
+            failures = check_batch_throughput(throughput)
+            for failure in failures:
+                LOG.error(f"FAIL {failure}")
+            if failures:
+                return 1
+            LOG.info(
+                "batch check OK (batched replay beats op-interleaved "
+                "replay on reduction, both bit-identical to sequential)"
+            )
     if speedup_section is not None:
         mismatches = 0
         top = str(max(args.processors))

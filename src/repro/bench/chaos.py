@@ -111,6 +111,7 @@ def _run_row(
     plan: Optional[FaultPlan],
     seed: int,
     baseline_cycles: Optional[int],
+    batch: bool = True,
 ) -> Dict:
     result = run_resilient(
         program,
@@ -121,6 +122,7 @@ def _run_row(
         capacity=CHAOS_CAPACITY,
         max_restarts=CHAOS_MAX_RESTARTS,
         watchdog_rounds=CHAOS_WATCHDOG_ROUNDS,
+        batch=batch,
     )
     recovered = not sequential_values.differences(result.memory, tolerance=0.0)
     row: Dict = {
@@ -153,6 +155,7 @@ def measure_chaos(
     engines: Sequence[str] = CHAOS_ENGINES,
     kinds: Sequence[str] = FAULT_KINDS,
     seed: int = CHAOS_SEED,
+    batch: bool = True,
 ) -> Dict:
     """The whole sweep.  ``result["unrecovered"]`` lists every run whose
     final state diverged from sequential -- the CI gate (must be empty).
@@ -168,6 +171,7 @@ def measure_chaos(
         "watchdog_rounds": CHAOS_WATCHDOG_ROUNDS,
         "rates": list(rates),
         "seed": seed,
+        "batch": batch,
         "programs": {},
     }
     unrecovered: List[str] = []
@@ -184,6 +188,7 @@ def measure_chaos(
                 window=CHAOS_WINDOW,
                 capacity=CHAOS_CAPACITY,
                 auditor=auditor,
+                batch=batch,
             ).run()
             clean = (
                 not result.degraded
@@ -214,6 +219,7 @@ def measure_chaos(
                         FaultPlan.single(kind, rate),
                         seed,
                         baseline_cycles.get(engine),
+                        batch=batch,
                     )
                     if not row["recovered"]:
                         unrecovered.append(

@@ -257,6 +257,7 @@ class SpeculativeEngine:
         max_restarts: Optional[int] = DEFAULT_MAX_RESTARTS,
         watchdog_rounds: Optional[int] = DEFAULT_WATCHDOG_ROUNDS,
         fallback: bool = True,
+        batch: bool = False,
     ):
         self.program = program
         self.window = max(1, int(window))
@@ -313,6 +314,16 @@ class SpeculativeEngine:
         self._age = 0
         #: uid -> route for the region currently executing.
         self._routes: Dict[str, str] = {}
+        #: Batched speculative replay (:mod:`repro.runtime.batch`): run
+        #: each eligible loop region's attempts as whole-segment batches
+        #: with post-hoc validation instead of op-interleaving.  Off by
+        #: default -- the batched protocol is bit-identical in final
+        #: memory but has different micro-dynamics (fault-free runs
+        #: validate instead of violating), so dynamics-sensitive
+        #: consumers opt in explicitly.
+        self.batch = batch
+        #: Region name -> compiled BatchProgram (None = ineligible).
+        self._batch_programs: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # routing (the only thing HOSE and CASE disagree on)
@@ -947,6 +958,16 @@ class SpeculativeEngine:
         step = int(round(evaluate_expression(region.step, reader)))
         if step == 0:
             raise SimulationError(f"region {region.name!r} has zero step")
+
+        if (
+            self.batch
+            and self.op_budget is None
+            and self.hierarchy is None
+        ):
+            from repro.runtime.batch import try_run_batched
+
+            if try_run_batched(self, region, memory, stats, lower, upper, step):
+                return
 
         def iteration_values():
             value = lower

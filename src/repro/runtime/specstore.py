@@ -42,7 +42,7 @@ HOSE vs CASE benchmark scenario compares across capacities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.runtime.errors import SimulationError
 from repro.runtime.memory import Address, MemoryImage
@@ -206,6 +206,31 @@ class SpeculativeStore:
         if not self._allocate(buffer, address):
             return False
         buffer.values[address] = float(value)
+        return True
+
+    def transfer(
+        self,
+        buffer: SegmentBuffer,
+        read_addresses: Iterable[Address],
+        writes: Iterable[Tuple[Address, float]],
+    ) -> bool:
+        """Bulk-install a batched attempt's access logs into ``buffer``.
+
+        Registers every read in the buffer's read set, then buffers
+        every write, stopping at the first refused allocation (capacity
+        overflow).  Returns ``False`` on refusal; like an interleaved
+        attempt that stalls mid-segment, the partial state is kept so
+        the entries stay visible to forwarding and occupancy accounting
+        until the caller resolves the stall.
+        """
+        record_read = self.record_read
+        record_write = self.record_write
+        for address in read_addresses:
+            if not record_read(buffer, address):
+                return False
+        for address, value in writes:
+            if not record_write(buffer, address, value):
+                return False
         return True
 
     def forward(self, buffer: SegmentBuffer, address: Address) -> Optional[float]:

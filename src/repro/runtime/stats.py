@@ -45,6 +45,16 @@ class ExecutionStats:
     #: Share of ``cycles`` that came from modelled memory latency
     #: (non-zero only when a latency model is attached).
     memory_latency_cycles: int = 0
+    #: Batched-replay counters (``runtime.batch``): whole-segment
+    #: attempts executed as one batch, the ops they covered, attempts
+    #: resolved through the overflow/validation fallback, post-hoc
+    #: validation failures, and read/write-log entries carried per batch
+    #: (an occupancy proxy for the segment-local logs).
+    batched_attempts: int = 0
+    batched_ops: int = 0
+    batch_fallbacks: int = 0
+    batch_violations: int = 0
+    batch_log_entries: int = 0
 
     # ------------------------------------------------------------------
     def count_reference(self, uid: str) -> None:

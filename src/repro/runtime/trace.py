@@ -284,6 +284,9 @@ class CompiledAssign:
     #: None for a scalar target, else per-dimension templates.
     target_dims: Optional[Tuple[Tuple, ...]]
     write_ref: Optional[MemoryReference]
+    #: The source statement (carried for consumers that need the AST,
+    #: e.g. batched pricing via ``CostModel.expression_cost``).
+    stmt: Optional[Assign] = None
 
 
 def _dim_template(
@@ -419,7 +422,57 @@ def compile_assign(
         target=stmt.target,
         target_dims=target_dims,
         write_ref=stmt.write,
+        stmt=stmt,
     )
+
+
+# ----------------------------------------------------------------------
+# Prebuilt statement tree
+# ----------------------------------------------------------------------
+# Node kinds of the precompiled body tree walked by the recorder: every
+# Assign is compiled exactly once, before the (possibly deeply unrolled)
+# recording walk, so emission performs zero per-op dict lookups.
+_N_ASSIGN = 0  # (_N_ASSIGN, stmt, CompiledAssign)
+_N_IF = 1      # (_N_IF, stmt, then_nodes, else_nodes)
+_N_DO = 2      # (_N_DO, stmt, body_nodes)
+
+
+def _build_tree(
+    body: Sequence[Statement], scope: Set[str], region_index: str
+) -> List[Tuple]:
+    """Precompile ``body`` into a parallel tree of statement nodes.
+
+    Both arms of every ``IF`` are compiled even if never taken at record
+    time -- slightly more conservative (an uncompilable dead branch now
+    falls back to the interpreter), but it keeps the recording walk free
+    of compilation entirely.
+    """
+    nodes: List[Tuple] = []
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            nodes.append(
+                (_N_ASSIGN, stmt, compile_assign(stmt, scope, region_index))
+            )
+        elif isinstance(stmt, If):
+            nodes.append(
+                (
+                    _N_IF,
+                    stmt,
+                    _build_tree(stmt.then_body, scope, region_index),
+                    _build_tree(stmt.else_body, scope, region_index),
+                )
+            )
+        elif isinstance(stmt, Do):
+            nodes.append(
+                (
+                    _N_DO,
+                    stmt,
+                    _build_tree(stmt.body, scope | {stmt.index}, region_index),
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise TraceError(f"unknown statement {type(stmt).__name__}")
+    return nodes
 
 
 # ----------------------------------------------------------------------
@@ -476,12 +529,14 @@ EV_COMPUTE = 1    # (EV_COMPUTE, ComputeOp)
 EV_CTRL_READ = 2  # (EV_CTRL_READ, ReadOp, expected_value)
 EV_ASSIGN = 3     # (EV_ASSIGN, rhs_reads, target_reads, arith_fn,
                   #  arith_program, env, cost_op, target, subs_or_dims,
-                  #  subs_affine, subs_const, write_ref)
+                  #  subs_affine, subs_const, write_ref, compiled_assign)
                   # read entries: prebuilt ReadOp (fixed address),
                   #   (name, ref, dims) with all dims (base, coeff), or
                   #   (name, ref, dims, None) with mixed/program dims.
                   # target_reads are yielded after the cost ComputeOp,
                   # matching the interpreter's order for scatter writes.
+                  # The trailing CompiledAssign lets batched replay price
+                  # and re-derive the statement without the AST walk.
 
 Event = Tuple
 
@@ -602,17 +657,12 @@ def record_trace(
 
     trace = SegmentTrace(region=region.name, region_index=region.index)
     events = trace.events
-    # Per-statement compilation cache.  Keyed by id() for speed, which
-    # is safe here: the map is local to this one recording and the
-    # statements are kept alive by the region for its whole lifetime.
-    compiled: Dict[int, CompiledAssign] = {}
+    # Precompile the whole body once into a parallel tree; the unrolled
+    # recording walk below then emits from prebuilt CompiledAssigns with
+    # no per-op dict lookups at all.
+    tree = _build_tree(region.body, set(), region.index)
 
-    def emit_assign(stmt: Assign, scope: Set[str], env: Dict[str, float]) -> None:
-        key = id(stmt)
-        ca = compiled.get(key)
-        if ca is None:
-            ca = compile_assign(stmt, scope, region.index)
-            compiled[key] = ca
+    def emit_assign(ca: CompiledAssign, env: Dict[str, float]) -> None:
         reads_folded: List = []
         for name, ref, dim_templates in ca.read_specs:
             if dim_templates is None:
@@ -652,6 +702,7 @@ def record_trace(
                 subs_affine,
                 subs_const,
                 ca.write_ref,
+                ca,
             )
         )
 
@@ -677,24 +728,27 @@ def record_trace(
                 f"{MAX_TRACE_EVENTS} events"
             )
 
-    def rec_body(body: Sequence[Statement], scope: Set[str], env: Dict[str, float]):
-        for stmt in body:
+    def rec_body(nodes: Sequence[Tuple], env: Dict[str, float]):
+        for node in nodes:
             overflow()
-            if isinstance(stmt, Assign):
+            kind = node[0]
+            if kind == _N_ASSIGN:
+                stmt = node[1]
                 events.append((EV_CHARGE,))
                 if stmt.guard is not None:
                     (guard_value,) = eval_control(stmt, (stmt.guard,), env)
                     events.append((EV_COMPUTE, _COMPUTE_1))
                     if not guard_value:
                         continue
-                emit_assign(stmt, scope, env)
-            elif isinstance(stmt, If):
+                emit_assign(node[2], env)
+            elif kind == _N_IF:
+                stmt = node[1]
                 events.append((EV_CHARGE,))
                 (cond_value,) = eval_control(stmt, (stmt.cond,), env)
                 events.append((EV_COMPUTE, _COMPUTE_1))
-                chosen = stmt.then_body if cond_value else stmt.else_body
-                rec_body(chosen, scope, env)
-            elif isinstance(stmt, Do):
+                rec_body(node[2] if cond_value else node[3], env)
+            else:  # _N_DO
+                stmt = node[1]
                 events.append((EV_CHARGE,))
                 lower, upper, step = eval_control(
                     stmt, (stmt.lower, stmt.upper, stmt.step), env
@@ -707,23 +761,21 @@ def record_trace(
                     )
                 had = stmt.index in env
                 shadowed = env.get(stmt.index)
-                inner_scope = scope | {stmt.index}
+                body_nodes = node[2]
                 value = lo
                 while (st > 0 and value <= hi) or (st < 0 and value >= hi):
                     overflow()
                     events.append((EV_CHARGE,))
                     env[stmt.index] = value
                     events.append((EV_COMPUTE, _COMPUTE_1))
-                    rec_body(stmt.body, inner_scope, env)
+                    rec_body(body_nodes, env)
                     value += st
                 if had:
                     env[stmt.index] = shadowed
                 else:
                     env.pop(stmt.index, None)
-            else:  # pragma: no cover - defensive
-                raise TraceError(f"unknown statement {type(stmt).__name__}")
 
-    rec_body(region.body, set(), {})
+    rec_body(tree, {})
     return trace
 
 
@@ -782,6 +834,7 @@ def replay_segment(
                 subs_affine,
                 subs_const,
                 wref,
+                _ca,
             ) = event
             values: List[float] = []
             for r in rhs_reads:

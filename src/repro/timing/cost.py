@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.ir.expr import BinOp, Call, Expr, UnaryOp
 
@@ -97,6 +97,26 @@ class CostModel:
     def commit_cost(self, entries: int) -> int:
         """Commit-arbitration cost of draining ``entries`` buffered entries."""
         return self.commit_base + self.commit_per_entry * max(0, entries)
+
+    def batch_cost(
+        self,
+        compute_cycles: int,
+        reads: Mapping[Optional[str], int],
+        writes: Mapping[Optional[str], int],
+    ) -> int:
+        """Bulk price of one batched segment attempt.
+
+        ``reads`` / ``writes`` count memory events per serving route
+        (``None`` = conventional memory); the total equals summing
+        :meth:`op_cost` over the attempt's op stream, collapsed into one
+        call per batch.
+        """
+        total = self.compute_scale * compute_cycles
+        for route, count in reads.items():
+            total += self.op_cost(KIND_READ, 0, route) * count
+        for route, count in writes.items():
+            total += self.op_cost(KIND_WRITE, 0, route) * count
+        return total
 
     # ------------------------------------------------------------------
     def expression_cost(self, expr: Expr) -> int:

@@ -244,6 +244,13 @@ class TimingRecorder:
             return
         record.attempts[-1].add_run(self.cost.op_cost(kind, cycles, route))
 
+    def batched(self, age: int, cycles: int) -> None:
+        """One whole batched attempt, pre-priced by ``CostModel.batch_cost``."""
+        record = self._active.get(age)
+        if record is None:  # pragma: no cover - defensive
+            return
+        record.attempts[-1].add_run(cycles)
+
     def stalled(self, age: int) -> None:
         record = self._active.get(age)
         if record is not None:
