@@ -27,10 +27,25 @@ summary, RFW result).  Treat them as immutable; a caller that needs a
 private mutable copy must copy explicitly (e.g. rebuild a
 ``DependenceGraph`` from its ``dependences`` list), or use
 :meth:`AnalysisCache.invalidate` to force recomputation.
+
+**Concurrency contract:** one cache may be shared by concurrent
+sessions (the ``repro.serve`` daemon shares a single instance across
+every request).  All dictionary and counter access is serialized by an
+internal lock; ``compute()`` itself deliberately runs *outside* the
+lock so a slow cold analysis never blocks warm hits on other threads.
+The consequence is a *duplicate-compute-on-concurrent-miss* policy:
+two threads missing the same ``(region, key)`` simultaneously both run
+``compute()``, the first to finish installs its value, and the loser
+discards its own result and returns the winner's object — so the
+aliasing contract above ("every warm hit hands back the same object")
+holds even across racing misses.  Analysis results are deterministic
+pure functions of the region, so the duplicated work is a bounded
+throughput cost, never a correctness hazard.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Hashable
 
 from repro.ir.region import Region
@@ -47,6 +62,10 @@ class AnalysisCache:
 
     def __init__(self) -> None:
         self._entries: Dict[Region, Dict[Hashable, Any]] = {}
+        #: Serializes dict mutation and counter updates; ``compute()``
+        #: runs outside it (see the module docstring's concurrency
+        #: contract).
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -56,48 +75,78 @@ class AnalysisCache:
     ) -> Any:
         """Return the cached value for ``(region, key)``; compute on miss.
 
+        Thread-safe: the lock covers only the lookup, the counter bump
+        and the insert, never ``compute()`` — so warm hits stay cheap
+        and concurrent misses of the same key duplicate the compute,
+        with the first inserted value winning (losers return the
+        winner's object, preserving the aliasing contract).
+
         With metrics collection armed (``repro.obs enable``) every
         lookup also bumps the process-wide ``analysis.cache.hits`` /
         ``analysis.cache.misses`` counters; disabled, the cost is one
         attribute check.
         """
-        per_region = self._entries.setdefault(region, {})
-        if key in per_region:
-            self.hits += 1
-            if _METRICS.collecting:
-                _METRICS.counter("analysis.cache.hits").inc()
-            return per_region[key]
-        self.misses += 1
+        with self._lock:
+            per_region = self._entries.setdefault(region, {})
+            if key in per_region:
+                self.hits += 1
+                hit = True
+                value = per_region[key]
+            else:
+                self.misses += 1
+                hit = False
         if _METRICS.collecting:
-            _METRICS.counter("analysis.cache.misses").inc()
+            if hit:
+                _METRICS.counter("analysis.cache.hits").inc()
+            else:
+                _METRICS.counter("analysis.cache.misses").inc()
+        if hit:
+            return value
         value = compute()
-        per_region[key] = value
-        return value
+        with self._lock:
+            # Re-fetch: the region entry may have been invalidated (or
+            # another thread may have finished the same compute) while
+            # we ran unlocked.  setdefault keeps the first value.
+            per_region = self._entries.setdefault(region, {})
+            return per_region.setdefault(key, value)
 
     def peek(self, region: Region, key: Hashable) -> Any:
         """Cached value for ``(region, key)`` or ``None`` — never inserts."""
-        per_region = self._entries.get(region)
-        if per_region is None:
-            return None
-        return per_region.get(key)
+        with self._lock:
+            per_region = self._entries.get(region)
+            if per_region is None:
+                return None
+            return per_region.get(key)
 
     def invalidate(self, region: Region) -> None:
-        """Drop all entries of one region."""
-        self._entries.pop(region, None)
+        """Drop all entries of one region.
+
+        A compute already in flight for the region may still install
+        its value after this returns (it re-creates the region entry);
+        invalidation guarantees fresh computes for lookups that *start*
+        after it.
+        """
+        with self._lock:
+            self._entries.pop(region, None)
 
     def clear(self) -> None:
         """Drop everything (counters kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._entries.values())
+        with self._lock:
+            return sum(len(entries) for entries in self._entries.values())
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters plus entry counts (diagnostics)."""
-        return {
-            "regions": len(self._entries),
-            "entries": len(self),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        """Hit/miss counters plus entry counts (one consistent snapshot)."""
+        with self._lock:
+            return {
+                "regions": len(self._entries),
+                "entries": sum(
+                    len(entries) for entries in self._entries.values()
+                ),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,6 +1,6 @@
 """Benchmark entry point: ``python -m repro.bench``.
 
-Five scenarios, all selected by default (``--scenarios`` narrows the
+Six scenarios, all selected by default (``--scenarios`` narrows the
 run, ``--list-scenarios`` enumerates them):
 
 ``families``
@@ -33,6 +33,14 @@ run, ``--list-scenarios`` enumerates them):
     gaps vs the dynamic upper bound from the trace oracle (the
     ``precision`` key; exit 1 on any unsound or suspect label; see
     ``docs/ANALYSIS.md``).
+
+``serve``
+    The analysis daemon under concurrent load: N client sessions over
+    real TCP sockets against one shared ``AnalysisCache``, reporting
+    requests/sec and p50/p95 latency per method (the ``serve`` key;
+    exit 1 on any error envelope, zero cross-request warm hits, or a
+    simulate that is not bit-identical to sequential; see
+    ``docs/SERVING.md``).
 
 Common invocations::
 
@@ -117,6 +125,18 @@ from repro.bench.precision import (
     PRECISION_STATEMENTS,
     measure_precision,
 )
+from repro.bench.serve import (
+    SERVE_MAX_INFLIGHT,
+    SERVE_REQUESTS,
+    SERVE_SESSIONS,
+    SERVE_SIZE,
+    SERVE_SMOKE_REQUESTS,
+    SERVE_SMOKE_SIZE,
+    SERVE_STATEMENTS,
+    SERVE_WORKERS,
+    check_serve,
+    measure_serve,
+)
 from repro.bench.speedup import (
     SPEEDUP_CAPACITIES,
     SPEEDUP_PROCESSORS,
@@ -150,6 +170,8 @@ SCENARIOS: Dict[str, str] = {
     "x engine must recover bit-identically to sequential",
     "precision": "labeling precision vs the differential checker: "
     "idempotent labels, provable gaps, dynamic upper bound",
+    "serve": "analysis daemon under concurrent sessions: requests/sec "
+    "and latency percentiles against one shared cache",
 }
 
 
@@ -295,6 +317,19 @@ def _parse_args(argv):
         type=int,
         default=PRECISION_SEED,
         help="generator seed for the precision scenario's fuzz batch",
+    )
+    parser.add_argument(
+        "--serve-sessions",
+        type=int,
+        default=SERVE_SESSIONS,
+        help="concurrent client sessions driven by the serve scenario",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=0,
+        help="requests per session in the serve scenario "
+        "(0 = per-mode default)",
     )
     parser.add_argument(
         "--min-seconds",
@@ -658,6 +693,29 @@ def main(argv=None) -> int:
                 seed=args.precision_seed,
             )
 
+    serve_section = None
+    if "serve" in selected:
+        serve_size = args.size if args.size else (
+            SERVE_SMOKE_SIZE if args.smoke else SERVE_SIZE
+        )
+        serve_requests = args.serve_requests if args.serve_requests else (
+            SERVE_SMOKE_REQUESTS if args.smoke else SERVE_REQUESTS
+        )
+        LOG.info(
+            f"serve: daemon under concurrent load "
+            f"(sessions={args.serve_sessions}, "
+            f"requests/session={serve_requests}, size={serve_size}, "
+            f"workers={SERVE_WORKERS}, "
+            f"max_inflight={SERVE_MAX_INFLIGHT}) ..."
+        )
+        with TRACER.span("bench.scenario", category="bench", scenario="serve"):
+            serve_section = measure_serve(
+                sessions=args.serve_sessions,
+                requests_per_session=serve_requests,
+                size=serve_size,
+                statements=SERVE_STATEMENTS,
+            )
+
     report = {
         "meta": {
             "version": __version__,
@@ -680,6 +738,8 @@ def main(argv=None) -> int:
         report["chaos"] = chaos_section
     if precision_section is not None:
         report["precision"] = precision_section
+    if serve_section is not None:
+        report["serve"] = serve_section
     if all("speedup" in entry for entry in families.values()) and families:
         report["summary"] = {
             "analyze_speedup_geomean": round(
@@ -877,6 +937,25 @@ def main(argv=None) -> int:
             f"precision check OK (0 unsound labels; overall "
             f"{totals['precision_percent']}% of provably-idempotent "
             f"references labeled)"
+        )
+    if serve_section is not None:
+        latency = serve_section["latency_ms"]
+        LOG.info(
+            f"serve: {serve_section['sessions']} sessions x "
+            f"{serve_section['requests_per_session']} requests  "
+            f"{serve_section['requests_per_second']:,.1f} req/s  "
+            f"p50={latency['p50']}ms p95={latency['p95']}ms  "
+            f"warm hits={serve_section['warm_hits']}  "
+            f"errors={serve_section['errors']}"
+        )
+        failures = check_serve(serve_section)
+        for failure in failures:
+            LOG.error(f"FAIL {failure}")
+        if failures:
+            return 1
+        LOG.info(
+            "serve check OK (all sessions served, shared cache warm, "
+            "every simulate bit-identical to sequential)"
         )
     return 0
 

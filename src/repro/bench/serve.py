@@ -1,0 +1,250 @@
+"""The ``serve`` bench scenario: concurrent sessions against one daemon.
+
+Stands up an in-process :class:`~repro.serve.sockets.TCPServer` (real
+sockets, real sessions, one shared :class:`AnalysisCache`) and drives
+``sessions`` concurrent clients through the method cycle
+
+    analyze -> label -> simulate -> analyze -> simulate -> speedup_sweep
+
+over a pool of real workload-family programs, every session submitting
+the *same* DSL sources so the interner resolves them to shared region
+objects and the cache accumulates cross-request warm hits.  Reports requests/sec and latency percentiles (p50/p95) per method and
+overall, the cache's cross-request warm-hit totals, and the bit-
+identity verdict of every simulate — the numbers the ``serve`` rows of
+``BENCH_results.json`` carry and :func:`check_serve` gates CI on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.workloads import generate
+from repro.obs.log import get_logger
+from repro.obs.metrics import metrics_registry, percentile
+from repro.serve.dispatch import Dispatcher
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import OVERLOADED
+from repro.serve.sockets import TCPServer
+
+LOG = get_logger("bench.serve")
+
+#: Concurrent client sessions (the acceptance floor is 4).
+SERVE_SESSIONS = 4
+#: Requests per session (full run / CI smoke).
+SERVE_REQUESTS = 24
+SERVE_SMOKE_REQUESTS = 6
+#: Daemon sizing.
+SERVE_WORKERS = 4
+SERVE_MAX_INFLIGHT = 32
+#: Workload sizing (small: request latency, not program size, is the
+#: quantity under test).
+SERVE_SIZE = 32
+SERVE_SMOKE_SIZE = 12
+SERVE_STATEMENTS = 2
+SERVE_FAMILIES = ("stencil", "reduction")
+
+#: The per-session method cycle (ISSUE contract: every method is hit,
+#: simulate twice so bit-identity gets real coverage).
+METHOD_CYCLE = (
+    "analyze",
+    "label",
+    "simulate",
+    "analyze",
+    "simulate",
+    "speedup_sweep",
+)
+
+
+def measure_serve(
+    sessions: int = SERVE_SESSIONS,
+    requests_per_session: int = SERVE_REQUESTS,
+    workers: int = SERVE_WORKERS,
+    max_inflight: int = SERVE_MAX_INFLIGHT,
+    size: int = SERVE_SIZE,
+    statements: int = SERVE_STATEMENTS,
+    families: Sequence[str] = SERVE_FAMILIES,
+) -> Dict:
+    """Drive ``sessions`` concurrent clients; return the report row."""
+    registry = metrics_registry()
+    was_collecting = registry.collecting
+    registry.enable()
+    dispatcher = Dispatcher()
+    pool = WorkerPool(workers=workers, max_inflight=max_inflight)
+    server = TCPServer(dispatcher, pool)
+    workloads = [generate(f, size, statements) for f in families]
+    records: List[Tuple[str, float, Optional[dict]]] = []
+    records_lock = threading.Lock()
+    overloaded = [0]
+
+    def client(session_idx: int) -> None:
+        sock = socket.create_connection(
+            ("127.0.0.1", server.port), timeout=60
+        )
+        stream = sock.makefile("rwb")
+        try:
+            for n in range(requests_per_session):
+                method = METHOD_CYCLE[n % len(METHOD_CYCLE)]
+                workload = workloads[(n + session_idx) % len(workloads)]
+                # Every session submits the same family sources, so
+                # the interner resolves them to shared Program objects
+                # and warm cache hits cross sessions and requests.
+                params: Dict = {"dsl": workload.source}
+                if method == "simulate":
+                    params["engine"] = (
+                        "case" if (n + session_idx) % 2 else "hose"
+                    )
+                elif method == "speedup_sweep":
+                    params["processors"] = [1, 2, 4]
+                payload = {
+                    "jsonrpc": "2.0",
+                    "id": f"s{session_idx}-{n}",
+                    "method": method,
+                    "params": params,
+                }
+                line = (json.dumps(payload) + "\n").encode("utf-8")
+                t0 = time.perf_counter()
+                while True:
+                    stream.write(line)
+                    stream.flush()
+                    raw = stream.readline()
+                    if not raw:
+                        response = None
+                        break
+                    response = json.loads(raw)
+                    error = response.get("error")
+                    if error and error.get("code") == OVERLOADED:
+                        # Honour the 429: back off briefly and retry;
+                        # the retries stay inside this request's
+                        # latency sample.
+                        with records_lock:
+                            overloaded[0] += 1
+                        time.sleep(0.005)
+                        continue
+                    break
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                with records_lock:
+                    records.append((method, elapsed_ms, response))
+                if response is None:
+                    return
+        finally:
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    server.start()
+    t_start = time.perf_counter()
+    try:
+        threads = [
+            threading.Thread(
+                target=client, args=(i,), name=f"serve-client-{i}"
+            )
+            for i in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - t_start
+    finally:
+        server.shutdown()
+        pool.close()
+        if not was_collecting:
+            registry.disable()
+
+    # ------------------------------------------------------------------
+    # aggregate
+    # ------------------------------------------------------------------
+    latencies = sorted(lat for _, lat, _ in records)
+    errors = 0
+    dropped = 0
+    simulate_ok = True
+    per_method: Dict[str, List[float]] = {}
+    for method, latency, response in records:
+        per_method.setdefault(method, []).append(latency)
+        if response is None:
+            dropped += 1
+            continue
+        if "error" in response:
+            errors += 1
+            continue
+        result = response.get("result", {})
+        if method == "simulate" and result.get("bit_identical") is not True:
+            simulate_ok = False
+        if method == "speedup_sweep":
+            for side in result.get("engines", {}).values():
+                if side.get("bit_identical") is not True:
+                    simulate_ok = False
+    cache_stats = dispatcher.cache.stats()
+    total = len(records)
+    return {
+        "sessions": sessions,
+        "requests_per_session": requests_per_session,
+        "total_requests": total,
+        "workers": workers,
+        "max_inflight": max_inflight,
+        "families": list(families),
+        "size": size,
+        "statements": statements,
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(total / wall, 1) if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50.0), 3),
+            "p95": round(percentile(latencies, 95.0), 3),
+            "mean": round(sum(latencies) / total, 3) if total else 0.0,
+            "max": round(max(latencies), 3) if latencies else 0.0,
+        },
+        "per_method": {
+            method: {
+                "count": len(samples),
+                "p50_ms": round(percentile(sorted(samples), 50.0), 3),
+                "p95_ms": round(percentile(sorted(samples), 95.0), 3),
+            }
+            for method, samples in sorted(per_method.items())
+        },
+        "errors": errors,
+        "dropped": dropped,
+        "overloaded_retries": overloaded[0],
+        "simulate_bit_identical": simulate_ok,
+        "cache": cache_stats,
+        "warm_hits": cache_stats["hits"],
+        "interned_programs": dispatcher.interned_programs(),
+    }
+
+
+def check_serve(section: Dict) -> List[str]:
+    """CI gates over one :func:`measure_serve` row."""
+    failures: List[str] = []
+    if section["sessions"] < 4:
+        failures.append(
+            f"serve: only {section['sessions']} concurrent sessions "
+            f"(the scenario contract is >= 4)"
+        )
+    expected = section["sessions"] * section["requests_per_session"]
+    if section["total_requests"] != expected or section["dropped"]:
+        failures.append(
+            f"serve: {section['total_requests']}/{expected} requests "
+            f"completed ({section['dropped']} dropped)"
+        )
+    if section["errors"]:
+        failures.append(
+            f"serve: {section['errors']} requests returned error envelopes"
+        )
+    if not section["simulate_bit_identical"]:
+        failures.append(
+            "serve: a simulate/speedup_sweep run diverged from the "
+            "sequential interpreter"
+        )
+    if section["warm_hits"] <= 0:
+        failures.append(
+            "serve: shared AnalysisCache saw no cross-request warm hits"
+        )
+    return failures

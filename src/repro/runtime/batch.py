@@ -58,10 +58,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.log import get_logger
+
 try:  # numpy accelerates affine offset vectors; everything else is pure
     import numpy as _np
-except Exception:  # pragma: no cover - the container bakes numpy in
+except ImportError as _numpy_exc:
+    # Only a genuinely absent numpy degrades to the pure-python path —
+    # and it says so once, loudly: a bare ``except Exception`` here
+    # used to swallow unrelated numpy-initialization failures and
+    # silently slow every batched run down.  Anything other than
+    # ImportError propagates.
     _np = None
+    get_logger("runtime.batch").warning(
+        "numpy unavailable; batched replay falls back to pure-python "
+        "offset arithmetic",
+        error=str(_numpy_exc),
+    )
 
 from repro.ir.region import LoopRegion
 from repro.ir.symbols import SymbolError

@@ -139,18 +139,27 @@ class CostModel:
     def compute_cost_fn(self) -> Callable:
         """A per-statement cost function for the executor's latency hook.
 
-        Returns a fresh memoized ``(stmt, expr) -> int`` closure (weakly
-        keyed by statement, like the executor's default cache) pricing
-        arithmetic with this model's operator weights.
+        Returns a fresh memoized ``(stmt, expr) -> int`` closure pricing
+        arithmetic with this model's operator weights.  The memo is
+        keyed per ``(stmt, id(expr))``: the outer map is weakly keyed by
+        statement (like the executor's default cache), and each
+        statement holds an inner ``id(expr) -> cost`` map — keying by
+        statement alone would silently return the first expression's
+        cost for any other expression priced under the same statement.
+        ``id(expr)`` is honest because a statement keeps its expressions
+        alive for as long as the weak key itself exists; when the
+        statement dies, the inner map (and its ids) die with it.
         """
         cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         expression_cost = self.expression_cost
 
         def compute_cost(stmt, expr) -> int:
-            cached = cache.get(stmt)
+            per_stmt = cache.get(stmt)
+            if per_stmt is None:
+                per_stmt = cache[stmt] = {}
+            cached = per_stmt.get(id(expr))
             if cached is None:
-                cached = expression_cost(expr)
-                cache[stmt] = cached
+                cached = per_stmt[id(expr)] = expression_cost(expr)
             return cached
 
         return compute_cost

@@ -173,3 +173,88 @@ class TestBatchCounters:
         assert snapshot["batched_attempts"] > 0
         assert snapshot["batched_ops"] > 0
         assert snapshot["batch_log_entries"] > 0
+
+
+class TestNumpyImportGuard:
+    """Regression: the numpy guard must be narrow and must not be silent.
+
+    The module-level ``import numpy`` used to sit behind a bare
+    ``except Exception``, so an unrelated numpy-initialization error
+    silently degraded every batched run to the pure-python path with no
+    signal.  Now only ImportError degrades -- with a one-time structured
+    warning through ``repro.obs.log`` -- and anything else propagates.
+    """
+
+    def _reload_batch(self):
+        import importlib
+
+        import repro.runtime.batch as batch_mod
+
+        return importlib.reload(batch_mod)
+
+    def test_missing_numpy_degrades_with_warning(self):
+        import io
+        import sys
+        from unittest import mock
+
+        from repro.obs.log import configure_logging, reset_logging
+
+        stream = io.StringIO()
+        try:
+            configure_logging(stream=stream)
+            # None in sys.modules makes `import numpy` raise ImportError.
+            with mock.patch.dict(sys.modules, {"numpy": None}):
+                batch_mod = self._reload_batch()
+                assert batch_mod._np is None
+        finally:
+            reset_logging()
+            batch_mod = self._reload_batch()
+        assert batch_mod._np is not None
+        assert "numpy unavailable" in stream.getvalue()
+
+    def test_non_import_errors_propagate(self):
+        import sys
+
+        import pytest as _pytest
+
+        class _ExplodingFinder:
+            """Simulates numpy blowing up mid-initialization."""
+
+            def find_spec(self, name, path=None, target=None):
+                if name == "numpy" or name.startswith("numpy."):
+                    raise RuntimeError("simulated numpy init failure")
+                return None
+
+        finder = _ExplodingFinder()
+        saved_numpy = {
+            name: sys.modules.pop(name)
+            for name in list(sys.modules)
+            if name == "numpy" or name.startswith("numpy.")
+        }
+        sys.meta_path.insert(0, finder)
+        try:
+            with _pytest.raises(RuntimeError, match="simulated numpy"):
+                self._reload_batch()
+        finally:
+            sys.meta_path.remove(finder)
+            sys.modules.update(saved_numpy)
+            batch_mod = self._reload_batch()
+        assert batch_mod._np is not None
+
+    def test_pure_python_path_still_bit_identical(self):
+        import sys
+        from unittest import mock
+
+        from repro.obs.log import configure_logging, reset_logging
+        import io
+
+        stream = io.StringIO()
+        try:
+            configure_logging(stream=stream)
+            with mock.patch.dict(sys.modules, {"numpy": None}):
+                self._reload_batch()
+                program = generate("reduction", SIZE, STATEMENTS).program
+                run_batched(program, CASEEngine, window=4, capacity=64)
+        finally:
+            reset_logging()
+            self._reload_batch()

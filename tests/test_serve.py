@@ -1,0 +1,484 @@
+"""Smoke and protocol tests of the ``repro.serve`` daemon.
+
+Covers the wire contract end to end: round-trips for all four analysis
+methods (in-process and over a real ``--wire`` subprocess), the
+malformed-JSON and unknown-method error envelopes, backpressure
+rejection against a saturated pool, concurrent sessions sharing one
+``AnalysisCache`` (warm-hit counters grow across sessions), and clean
+shutdown of both transports.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.serve.dispatch import Dispatcher
+from repro.serve.pool import PoolSaturated, WorkerPool
+from repro.serve.protocol import (
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    OVERLOADED,
+    PARSE_ERROR,
+    ProtocolError,
+    Request,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serve.sockets import TCPServer
+
+DSL = """
+program served
+  real x(32), y(32)
+  real s
+  region L do i = 2, 31
+    y(i) = x(i-1) + x(i+1)
+    s = s + y(i)
+    liveout y, s
+  end region
+end program
+"""
+
+JSON_IR = {
+    "name": "served_ir",
+    "symbols": {
+        "scalars": [{"name": "s"}],
+        "arrays": [{"name": "x", "shape": [32], "initial": 1.0}],
+    },
+    "regions": [
+        {
+            "kind": "loop",
+            "name": "L",
+            "index": "i",
+            "lower": 2,
+            "upper": 31,
+            "body": [
+                {"target": "x", "subscripts": ["i"], "rhs": "x(i) * 2"},
+                {"target": "s", "rhs": "s + x(i)"},
+            ],
+            "live_out": ["x", "s"],
+        }
+    ],
+}
+
+
+def rpc(req_id, method, params=None):
+    return Request(method=method, params=params or {}, id=req_id)
+
+
+# ----------------------------------------------------------------------
+# protocol framing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_request_round_trip(self):
+        request = parse_request(
+            '{"jsonrpc": "2.0", "id": 7, "method": "ping", "params": {}}'
+        )
+        assert request.method == "ping"
+        assert request.id == 7
+        assert not request.notification
+
+    def test_notification_has_no_id(self):
+        request = parse_request('{"jsonrpc": "2.0", "method": "ping"}')
+        assert request.notification
+
+    def test_malformed_json_is_parse_error(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_request("{nope")
+        assert info.value.code == PARSE_ERROR
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "[1, 2, 3]",
+            '{"jsonrpc": "1.0", "method": "ping"}',
+            '{"jsonrpc": "2.0"}',
+            '{"jsonrpc": "2.0", "method": ""}',
+            '{"jsonrpc": "2.0", "method": "ping", "params": [1]}',
+            '{"jsonrpc": "2.0", "method": "ping", "id": {"k": 1}}',
+        ],
+    )
+    def test_invalid_requests(self, line):
+        with pytest.raises(ProtocolError) as info:
+            parse_request(line)
+        assert info.value.code == INVALID_REQUEST
+
+    def test_envelopes(self):
+        ok = ok_response(3, {"x": 1})
+        assert ok == {"jsonrpc": "2.0", "id": 3, "result": {"x": 1}}
+        err = error_response(None, OVERLOADED, "busy", data={"max_inflight": 2})
+        assert err["error"]["code"] == OVERLOADED
+        assert err["error"]["data"] == {"max_inflight": 2}
+        line = encode_line(ok)
+        assert line.endswith(b"\n")
+        assert json.loads(line) == ok
+
+
+# ----------------------------------------------------------------------
+# dispatcher round trips (in-process)
+# ----------------------------------------------------------------------
+class TestDispatcher:
+    def test_analyze_round_trip(self):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(rpc(1, "analyze", {"dsl": DSL}))
+        result = response["result"]
+        assert response["id"] == 1
+        region = result["regions"][0]
+        assert region["name"] == "L"
+        assert region["references"] > 0
+        assert "meta" in result and "elapsed_ms" in result["meta"]
+
+    def test_label_round_trip(self):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(
+            rpc(2, "label", {"dsl": DSL, "region": "L"})
+        )
+        labels = response["result"]["labels"]
+        assert labels
+        assert all(
+            entry["label"] in ("speculative", "idempotent")
+            for entry in labels.values()
+        )
+
+    @pytest.mark.parametrize("engine", ["hose", "case"])
+    def test_simulate_bit_identical(self, engine):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(
+            rpc(3, "simulate", {"dsl": DSL, "engine": engine})
+        )
+        result = response["result"]
+        assert result["engine"] == engine
+        assert result["bit_identical"] is True
+
+    def test_speedup_sweep_round_trip(self):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(
+            rpc(4, "speedup_sweep", {"dsl": DSL, "processors": [1, 4]})
+        )
+        result = response["result"]
+        assert result["sequential_cycles"] > 0
+        for side in result["engines"].values():
+            assert side["bit_identical"] is True
+            assert set(side["processors"]) == {"1", "4"}
+
+    def test_json_ir_submission(self):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(
+            rpc(5, "simulate", {"program": JSON_IR, "engine": "case"})
+        )
+        assert response["result"]["bit_identical"] is True
+        assert response["result"]["program"] == "served_ir"
+
+    def test_resubmission_interns_and_warms_cache(self):
+        dispatcher = Dispatcher()
+        first = dispatcher.resolve_program({"dsl": DSL})
+        second = dispatcher.resolve_program({"dsl": DSL})
+        assert first is second
+        dispatcher.dispatch(rpc(1, "analyze", {"dsl": DSL}))
+        warm = dispatcher.dispatch(rpc(2, "analyze", {"dsl": DSL}))
+        assert warm["result"]["meta"]["cache"]["hits"] > 0
+
+    def test_unknown_method(self):
+        dispatcher = Dispatcher()
+        response = dispatcher.dispatch(rpc(6, "does_not_exist"))
+        assert response["error"]["code"] == METHOD_NOT_FOUND
+        assert "analyze" in response["error"]["data"]["methods"]
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {},
+            {"dsl": DSL, "program": JSON_IR},
+            {"dsl": "program broken\n"},
+            {"program": {"regions": [{"name": "L"}]}},
+            {"dsl": DSL, "engine": "warp"},
+            {"dsl": DSL, "region": "missing"},
+        ],
+    )
+    def test_invalid_params(self, params):
+        dispatcher = Dispatcher()
+        method = "simulate" if "engine" in params else "label"
+        response = dispatcher.dispatch(rpc(7, method, params))
+        assert response["error"]["code"] == INVALID_PARAMS
+
+    def test_interner_eviction_is_bounded(self):
+        dispatcher = Dispatcher(max_programs=2)
+        sources = [DSL.replace("served", f"served{i}") for i in range(4)]
+        for source in sources:
+            dispatcher.dispatch(rpc(1, "analyze", {"dsl": source}))
+        assert dispatcher.interned_programs() == 2
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_saturation_raises(self):
+        pool = WorkerPool(workers=1, max_inflight=2)
+        release = threading.Event()
+        try:
+            pool.submit(release.wait)
+            pool.submit(release.wait)
+            with pytest.raises(PoolSaturated):
+                pool.submit(lambda: None)
+        finally:
+            release.set()
+            pool.close()
+
+    def test_jobs_drain_and_close_joins(self):
+        pool = WorkerPool(workers=2, max_inflight=8)
+        done = []
+        lock = threading.Lock()
+
+        def job(i):
+            with lock:
+                done.append(i)
+
+        for i in range(8):
+            pool.submit(lambda i=i: job(i))
+        pool.close(wait=True)
+        assert sorted(done) == list(range(8))
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class _Client:
+    """Tiny line-delimited JSON-RPC client over one TCP connection."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.stream = self.sock.makefile("rwb")
+        self._next_id = 0
+
+    def send(self, method, params=None, req_id=None, raw=None):
+        if raw is not None:
+            self.stream.write(raw.encode("utf-8") + b"\n")
+        else:
+            if req_id is None:
+                self._next_id += 1
+                req_id = self._next_id
+            self.stream.write(
+                (
+                    json.dumps(
+                        {
+                            "jsonrpc": "2.0",
+                            "id": req_id,
+                            "method": method,
+                            "params": params or {},
+                        }
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+        self.stream.flush()
+
+    def recv(self):
+        line = self.stream.readline()
+        return json.loads(line) if line else None
+
+    def call(self, method, params=None):
+        self.send(method, params)
+        return self.recv()
+
+    def close(self):
+        try:
+            self.stream.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def server():
+    dispatcher = Dispatcher()
+    pool = WorkerPool(workers=2, max_inflight=2)
+    tcp = TCPServer(dispatcher, pool)
+    tcp.start()
+    yield tcp
+    tcp.shutdown()
+    pool.close()
+
+
+class TestTCPServer:
+    def test_round_trip_over_socket(self, server):
+        client = _Client(server.port)
+        try:
+            response = client.call("analyze", {"dsl": DSL})
+            assert response["result"]["regions"][0]["name"] == "L"
+            response = client.call("ping")
+            assert response["result"]["pong"] is True
+        finally:
+            client.close()
+
+    def test_malformed_and_unknown_over_socket(self, server):
+        client = _Client(server.port)
+        try:
+            client.send(None, raw="{bad json")
+            assert client.recv()["error"]["code"] == PARSE_ERROR
+            response = client.call("nope")
+            assert response["error"]["code"] == METHOD_NOT_FOUND
+        finally:
+            client.close()
+
+    def test_backpressure_rejects_when_saturated(self, server):
+        # The fixture pool has two workers and max_inflight=2: two
+        # sleeps occupy it, so the ping must bounce with OVERLOADED
+        # (written inline by the reader thread, ahead of the sleeps).
+        client = _Client(server.port)
+        try:
+            client.send("sleep", {"seconds": 1.0}, req_id="a")
+            client.send("sleep", {"seconds": 1.0}, req_id="b")
+            client.send("ping", req_id="probe")
+            first = client.recv()
+            assert first["id"] == "probe"
+            assert first["error"]["code"] == OVERLOADED
+            assert first["error"]["data"]["max_inflight"] == 2
+            # The sleeps still complete.
+            assert client.recv()["result"]["slept"] == 1.0
+            assert client.recv()["result"]["slept"] == 1.0
+        finally:
+            client.close()
+
+    def test_concurrent_sessions_share_cache(self, server):
+        clients = [_Client(server.port) for _ in range(4)]
+        errors = []
+
+        def hammer(client):
+            # The fixture pool is tiny (max_inflight=2), so four
+            # hammering sessions legitimately see OVERLOADED -- honour
+            # the 429 and retry, fail on anything else.
+            for _ in range(3):
+                for _attempt in range(50):
+                    response = client.call("analyze", {"dsl": DSL})
+                    error = response.get("error")
+                    if error and error.get("code") == OVERLOADED:
+                        time.sleep(0.02)
+                        continue
+                    break
+                if "result" not in response:
+                    errors.append(response)
+
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(c,)) for c in clients
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+            stats = server.dispatcher.cache.stats()
+            assert stats["hits"] > 0, "no cross-request warm hits"
+            assert server.dispatcher.interned_programs() == 1
+            response = clients[0].call("metrics")
+            assert response["result"]["cache"]["hits"] == stats["hits"]
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_shutdown_request_stops_server(self, server):
+        client = _Client(server.port)
+        try:
+            response = client.call("shutdown")
+            assert response["result"]["stopping"] is True
+        finally:
+            client.close()
+        assert server.stopped.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# wire subprocess smoke (the kimigas-style end-to-end check)
+# ----------------------------------------------------------------------
+def _spawn_wire(*extra):
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--wire", "--quiet", *extra],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+class TestWireSubprocess:
+    def test_wire_session_end_to_end(self):
+        child = _spawn_wire()
+
+        def call(req_id, method, params=None):
+            child.stdin.write(
+                json.dumps(
+                    {
+                        "jsonrpc": "2.0",
+                        "id": req_id,
+                        "method": method,
+                        "params": params or {},
+                    }
+                )
+                + "\n"
+            )
+            child.stdin.flush()
+            return json.loads(child.stdout.readline())
+
+        try:
+            assert call(1, "analyze", {"dsl": DSL})["result"]["regions"]
+            assert call(2, "label", {"dsl": DSL})["result"]["labels"]
+            simulate = call(3, "simulate", {"dsl": DSL, "engine": "case"})
+            assert simulate["result"]["bit_identical"] is True
+            sweep = call(
+                4, "speedup_sweep", {"dsl": DSL, "processors": [1, 2]}
+            )
+            assert sweep["result"]["engines"]["case"]["bit_identical"] is True
+            # Warm across requests of one daemon lifetime.
+            warm = call(5, "analyze", {"dsl": DSL})
+            assert warm["result"]["meta"]["cache"]["hits"] > 0
+            stopping = call(6, "shutdown")
+            assert stopping["result"]["stopping"] is True
+            child.stdin.close()
+            assert child.wait(timeout=60) == 0
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)
+
+    def test_wire_eof_is_clean_exit(self):
+        child = _spawn_wire()
+        try:
+            child.stdin.close()
+            assert child.wait(timeout=60) == 0
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)
+
+    def test_selfcheck_passes(self):
+        src = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "--selfcheck"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr

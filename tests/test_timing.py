@@ -98,6 +98,23 @@ end program
         assert cost == 1 + COST.mul_weight
         assert fn(stmt, stmt.rhs) == cost  # memoized
 
+    def test_compute_cost_fn_keys_per_expression(self):
+        # Regression: the memo used to key by statement alone, so a
+        # second, different expression priced under the same statement
+        # silently got the first expression's cost.
+        from repro.ir.builder import assign, var
+
+        stmt = assign("a", var("b") * var("c"))          # cost 1 + mul
+        cheap = stmt.rhs
+        costly = var("b") / var("c") + var("b")          # cost 1 + div + add
+        stmt.rhs = costly  # the statement owns both exprs' lifetimes
+        fn = COST.compute_cost_fn()
+        assert fn(stmt, cheap) == COST.expression_cost(cheap)
+        assert fn(stmt, costly) == COST.expression_cost(costly)
+        assert fn(stmt, cheap) != fn(stmt, costly)
+        # Memoized per expression, not recomputed.
+        assert fn(stmt, cheap) == COST.expression_cost(cheap)
+
 
 # ----------------------------------------------------------------------
 # Sequential baseline.
